@@ -1,0 +1,434 @@
+// Package graphrealize is a Go implementation of "Distributed Graph
+// Realizations" (Augustine, Choudhary, Cohen, Peleg, Sivasubramaniam,
+// Sourav — IPDPS 2020): distributed construction of overlay networks that
+// realize degree sequences, tree degree sequences, and pairwise
+// edge-connectivity thresholds in the Node Capacitated Clique (NCC) model.
+//
+// The package is a facade over an executable NCC simulator: every call
+// spins up n protocol goroutines (one per simulated node), runs the paper's
+// distributed algorithm under the model's knowledge and capacity rules, and
+// returns the realized overlay together with the round/message statistics
+// that are the paper's figures of merit.
+//
+//	g, stats, err := graphrealize.RealizeDegrees([]int{3, 3, 2, 2, 2, 2}, nil)
+//	// g.Adj is the realized overlay; stats.Rounds its round complexity.
+//
+// The heavy lifting lives in internal packages: internal/ncc (the model),
+// internal/primitives and internal/aggregate (§3 toolbox), internal/core
+// (§4 degree realization), internal/trees (§5), internal/connectivity (§6),
+// and internal/seq (sequential baselines). See DESIGN.md for the map.
+package graphrealize
+
+import (
+	"errors"
+	"fmt"
+
+	"graphrealize/internal/connectivity"
+	"graphrealize/internal/core"
+	"graphrealize/internal/gen"
+	"graphrealize/internal/graph"
+	"graphrealize/internal/ncc"
+	"graphrealize/internal/seq"
+	"graphrealize/internal/sortnet"
+	"graphrealize/internal/trees"
+)
+
+// Model selects the NCC knowledge variant (§2 of the paper).
+type Model int
+
+const (
+	// NCC0 gives each node only its successor in the knowledge path Gk.
+	NCC0 Model = iota
+	// NCC1 gives every node all IDs (the SPAA'19 NCC model).
+	NCC1
+)
+
+// SortMethod selects the §3.1.2 sorting implementation used inside the
+// realization algorithms.
+type SortMethod int
+
+const (
+	// OracleSort executes the sort centrally and charges the Theorem 3
+	// round bound ⌈log₂ n⌉³ — the default, keeping large runs fast while
+	// round accounting stays faithful.
+	OracleSort SortMethod = iota
+	// OddEvenSort runs a real O(n)-round transposition sort protocol (the
+	// naive baseline ablation).
+	OddEvenSort
+	// MergeSort runs the paper's real O(log³ n) merge-sort protocol
+	// (Algorithm 2 / Theorem 3).
+	MergeSort
+)
+
+// Options tunes a realization run. The zero value (or nil) is a sensible
+// default: NCC0, seed 0, strict capacity checking off, oracle sorting.
+type Options struct {
+	// Model is the knowledge variant to run under.
+	Model Model
+	// Seed makes runs deterministic; different seeds vary IDs, the Gk
+	// permutation and the protocols' internal randomness.
+	Seed int64
+	// Strict turns capacity violations into errors instead of statistics.
+	Strict bool
+	// CapMul scales the per-round message budget (default 8·⌈log₂ n⌉).
+	CapMul int
+	// Sort selects the sorting subroutine implementation.
+	Sort SortMethod
+	// MaxRounds aborts runaway protocols (default 50M).
+	MaxRounds int
+}
+
+// Stats reports the cost of a run in the NCC model's currency.
+type Stats struct {
+	N             int   // nodes
+	Rounds        int   // total synchronous rounds (incl. charged)
+	ChargedRounds int   // rounds charged by oracle collectives (⊆ Rounds)
+	Messages      int64 // messages delivered
+	Capacity      int   // per-node per-round message budget
+	MaxSent       int   // max messages sent by one node in one round
+	MaxRecv       int   // max messages received by one node in one round
+	CapViolations int   // (node, round) pairs exceeding the budget
+	Phases        int   // Havel–Hakimi phases (degree realizations only)
+}
+
+// String renders a one-line summary.
+func (s *Stats) String() string {
+	return fmt.Sprintf("n=%d rounds=%d (charged %d) msgs=%d cap=%d maxRecv=%d viol=%d",
+		s.N, s.Rounds, s.ChargedRounds, s.Messages, s.Capacity, s.MaxRecv, s.CapViolations)
+}
+
+// Errors returned by the realization entry points.
+var (
+	// ErrUnrealizable reports that the input admits no realization (the
+	// distributed algorithm's Unrealizable broadcast).
+	ErrUnrealizable = errors.New("graphrealize: sequence is not realizable")
+	// ErrBadInput reports malformed input (empty sequence, wrong length).
+	ErrBadInput = errors.New("graphrealize: invalid input")
+)
+
+// Graph is the realized overlay: vertex i is the node that was assigned
+// input i, Adj its sorted adjacency lists.
+type Graph struct {
+	N   int
+	Adj [][]int
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, a := range g.Adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for v, a := range g.Adj {
+		d[v] = len(a)
+	}
+	return d
+}
+
+// Edges returns all edges as (u < v) pairs in deterministic order.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for u, a := range g.Adj {
+		for _, v := range a {
+			if v > u {
+				es = append(es, [2]int{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// Diameter returns the exact diameter (-1 if disconnected).
+func (g *Graph) Diameter() int { return g.internal().Diameter() }
+
+// IsTree reports whether the overlay is a tree.
+func (g *Graph) IsTree() bool { return g.internal().IsTree() }
+
+// Connected reports whether the overlay is connected.
+func (g *Graph) Connected() bool { return g.internal().Connected() }
+
+// EdgeConnectivity returns the number of pairwise edge-disjoint paths
+// between u and v (Menger), via max-flow.
+func (g *Graph) EdgeConnectivity(u, v int) int { return g.internal().EdgeConnectivity(u, v) }
+
+func (g *Graph) internal() *graph.Graph {
+	ig := graph.New(g.N)
+	for u, a := range g.Adj {
+		for _, v := range a {
+			if v > u {
+				_ = ig.AddEdge(u, v)
+			}
+		}
+	}
+	return ig
+}
+
+func fromInternal(ig *graph.Graph) *Graph {
+	g := &Graph{N: ig.N(), Adj: make([][]int, ig.N())}
+	for _, e := range ig.Edges() {
+		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+		g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
+	}
+	return g
+}
+
+// IsGraphic reports whether d is realizable by a simple graph
+// (Erdős–Gallai).
+func IsGraphic(d []int) bool { return seq.IsGraphic(d) }
+
+// IsTreeSequence reports whether d is realizable by a tree.
+func IsTreeSequence(d []int) bool { return seq.IsTreeSequence(d) }
+
+// MakeGraphic repairs an arbitrary non-negative sequence into a graphic one
+// while preserving its shape (see internal/gen).
+func MakeGraphic(d []int) []int { return gen.MakeGraphic(d) }
+
+func (o *Options) norm() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+func (o Options) simConfig(n int, inputs []any) ncc.Config {
+	model := ncc.NCC0
+	if o.Model == NCC1 {
+		model = ncc.NCC1
+	}
+	return ncc.Config{
+		N:         n,
+		Model:     model,
+		Seed:      o.Seed,
+		CapMul:    o.CapMul,
+		Strict:    o.Strict,
+		MaxRounds: o.MaxRounds,
+		Inputs:    inputs,
+	}
+}
+
+func (o Options) sortMethod() sortnet.Method {
+	switch o.Sort {
+	case OddEvenSort:
+		return sortnet.OddEven
+	case MergeSort:
+		return sortnet.Merge
+	default:
+		return sortnet.Oracle
+	}
+}
+
+func statsOf(tr *ncc.Trace) *Stats {
+	return &Stats{
+		N:             tr.Metrics.N,
+		Rounds:        tr.Metrics.Rounds,
+		ChargedRounds: tr.Metrics.CollectiveRounds,
+		Messages:      tr.Metrics.Messages,
+		Capacity:      tr.Metrics.Capacity,
+		MaxSent:       tr.Metrics.MaxSentPerRound,
+		MaxRecv:       tr.Metrics.MaxRecvPerRound,
+		CapViolations: tr.Metrics.SendViolations + tr.Metrics.RecvViolations,
+	}
+}
+
+func graphOf(tr *ncc.Trace) *Graph {
+	idx := make(map[ncc.ID]int, len(tr.IDs))
+	for i, id := range tr.IDs {
+		idx[id] = i
+	}
+	ig := graph.New(len(tr.IDs))
+	for e := range tr.EdgeSet() {
+		_ = ig.AddEdge(idx[e[0]], idx[e[1]])
+	}
+	return fromInternal(ig)
+}
+
+func toInputs(d []int) []any {
+	inputs := make([]any, len(d))
+	for i, v := range d {
+		inputs[i] = v
+	}
+	return inputs
+}
+
+// RealizeDegrees runs the distributed Havel–Hakimi of §4.1 (Theorem 11) and
+// returns the implicit realization of d (d[i] is the degree required by
+// vertex i). It returns ErrUnrealizable when d is not graphic.
+func RealizeDegrees(d []int, opt *Options) (*Graph, *Stats, error) {
+	return realizeDegrees(d, opt, false)
+}
+
+// RealizeDegreesExplicit additionally converts the realization to explicit
+// form (§4.2, Theorem 12): both endpoints of every edge know it.
+func RealizeDegreesExplicit(d []int, opt *Options) (*Graph, *Stats, error) {
+	return realizeDegrees(d, opt, true)
+}
+
+func realizeDegrees(d []int, opt *Options, explicit bool) (*Graph, *Stats, error) {
+	if len(d) == 0 {
+		return nil, nil, ErrBadInput
+	}
+	o := opt.norm()
+	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	sortnet.RegisterOracle(s)
+	tr, err := s.Run(func(nd *ncc.Node) {
+		env := core.Setup(nd, o.sortMethod())
+		out := core.Realize(nd, env, nd.Input().(int), core.Exact, true)
+		if out.OK && explicit {
+			core.MakeExplicit(nd, env, out.Neighbors, out.Delta)
+		}
+		nd.SetOutput("phases", int64(out.Phases))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := statsOf(tr)
+	if v, ok := tr.Output(tr.IDs[0], "phases"); ok {
+		st.Phases = int(v)
+	}
+	if tr.Unrealizable {
+		return nil, st, ErrUnrealizable
+	}
+	return graphOf(tr), st, nil
+}
+
+// RealizeUpperEnvelope runs the §4.3 variant (Theorem 13): it always
+// succeeds, realizing an upper envelope d′ ≥ d with Σd′ ≤ 2Σd (after
+// clamping d into [0, n−1]). It returns the realized graph and the envelope
+// degrees d′ (indexed like d).
+func RealizeUpperEnvelope(d []int, opt *Options) (*Graph, []int, *Stats, error) {
+	if len(d) == 0 {
+		return nil, nil, nil, ErrBadInput
+	}
+	o := opt.norm()
+	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	sortnet.RegisterOracle(s)
+	tr, err := s.Run(func(nd *ncc.Node) {
+		env := core.Setup(nd, o.sortMethod())
+		out := core.Realize(nd, env, nd.Input().(int), core.Envelope, true)
+		nd.SetOutput("realized", int64(out.Realized))
+		nd.SetOutput("phases", int64(out.Phases))
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := statsOf(tr)
+	if v, ok := tr.Output(tr.IDs[0], "phases"); ok {
+		st.Phases = int(v)
+	}
+	envl := make([]int, len(d))
+	for i, id := range tr.IDs {
+		v, _ := tr.Output(id, "realized")
+		envl[i] = int(v)
+	}
+	return graphOf(tr), envl, st, nil
+}
+
+// RealizeTree runs Algorithm 4 (§5, Theorem 14), realizing a tree sequence
+// as a maximum-diameter chain-plus-leaves tree.
+func RealizeTree(d []int, opt *Options) (*Graph, *Stats, error) {
+	return realizeTree(d, opt, false)
+}
+
+// RealizeMinDiameterTree runs Algorithm 5 (§5, Theorem 16): the greedy tree
+// T_G, whose diameter is minimum over all tree realizations of d (Lemma 15).
+func RealizeMinDiameterTree(d []int, opt *Options) (*Graph, *Stats, error) {
+	return realizeTree(d, opt, true)
+}
+
+func realizeTree(d []int, opt *Options, greedy bool) (*Graph, *Stats, error) {
+	if len(d) == 0 {
+		return nil, nil, ErrBadInput
+	}
+	o := opt.norm()
+	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	sortnet.RegisterOracle(s)
+	tr, err := s.Run(func(nd *ncc.Node) {
+		env := core.Setup(nd, o.sortMethod())
+		deg := nd.Input().(int)
+		if greedy {
+			trees.RealizeGreedy(nd, env, deg)
+		} else {
+			trees.RealizeChain(nd, env, deg)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := statsOf(tr)
+	if tr.Unrealizable {
+		return nil, st, ErrUnrealizable
+	}
+	return graphOf(tr), st, nil
+}
+
+// RealizeConnectivity builds an overlay meeting pairwise edge-connectivity
+// thresholds (§6): Conn(u,v) ≥ min(rho[u], rho[v]) with at most Σρ edges (a
+// 2-approximation). Under NCC1 it runs the O~(1) implicit algorithm of
+// Theorem 17; under NCC0 the explicit O~(Δ) Algorithm 6 of Theorem 18.
+func RealizeConnectivity(rho []int, opt *Options) (*Graph, *Stats, error) {
+	if len(rho) == 0 {
+		return nil, nil, ErrBadInput
+	}
+	o := opt.norm()
+	s := ncc.New(o.simConfig(len(rho), toInputs(rho)))
+	sortnet.RegisterOracle(s)
+	tr, err := s.Run(func(nd *ncc.Node) {
+		r := nd.Input().(int)
+		if nd.Model() == ncc.NCC1 {
+			connectivity.RealizeNCC1(nd, r)
+		} else {
+			env := core.Setup(nd, o.sortMethod())
+			connectivity.RealizeNCC0(nd, env, r)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := statsOf(tr)
+	if tr.Unrealizable {
+		return nil, st, ErrUnrealizable
+	}
+	return graphOf(tr), st, nil
+}
+
+// ConnectivityLowerBound returns ⌈Σρ/2⌉, the minimum edge count of any
+// graph meeting the thresholds (the 2-approximation's denominator).
+func ConnectivityLowerBound(rho []int) int { return seq.ConnectivityLowerBound(rho) }
+
+// HavelHakimi is the sequential baseline of §3.3: it realizes d centrally,
+// or returns ErrUnrealizable.
+func HavelHakimi(d []int) (*Graph, error) {
+	g, ok := seq.HavelHakimi(d)
+	if !ok {
+		return nil, ErrUnrealizable
+	}
+	return fromInternal(g), nil
+}
+
+// GreedyTree is the sequential minimum-diameter tree baseline (Lemma 15).
+func GreedyTree(d []int) (*Graph, error) {
+	g, ok := seq.GreedyTree(d)
+	if !ok {
+		return nil, ErrUnrealizable
+	}
+	return fromInternal(g), nil
+}
+
+// ChainTree is the sequential Algorithm 4 baseline.
+func ChainTree(d []int) (*Graph, error) {
+	g, ok := seq.ChainTree(d)
+	if !ok {
+		return nil, ErrUnrealizable
+	}
+	return fromInternal(g), nil
+}
+
+// MinTreeDiameter returns the minimum diameter over all tree realizations
+// of d (−1 if d is not a tree sequence).
+func MinTreeDiameter(d []int) int { return seq.MinTreeDiameter(d) }

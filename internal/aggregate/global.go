@@ -1,0 +1,294 @@
+// Package aggregate implements the computational primitives of §3.2 of
+// "Distributed Graph Realizations": global broadcast and aggregation
+// (Theorem 4), global collection (Theorem 5), and the local aggregation /
+// multicast / token-collection primitives of Theorems 6–8 adapted from the
+// SPAA'19 NCC paper. Global primitives run over the balanced binary search
+// tree TBFS from package primitives; local primitives use rendezvous routing
+// with per-hop combining over the distance-doubling overlay (see DESIGN.md
+// for the substitution note).
+package aggregate
+
+import (
+	"graphrealize/internal/ncc"
+	"graphrealize/internal/primitives"
+)
+
+// Message kinds used by this package (0x30–0x4F block).
+const (
+	kUp uint8 = 0x30 + iota
+	kDown
+	kAggUp
+	kAggDown
+	kToken
+	kTokenDone
+	kLeaderTok
+	kPhaseEnd
+	kGroupMsg
+	kGroupReg
+	kGroupDown
+)
+
+// Op is a distributive aggregate operator with a neutral element, e.g.
+// {Combine: max, Neutral: math.MinInt64}.
+type Op struct {
+	Combine func(a, b int64) int64
+	Neutral int64
+}
+
+// MaxOp aggregates the maximum.
+func MaxOp() Op {
+	return Op{Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, Neutral: -1 << 62}
+}
+
+// MinOp aggregates the minimum.
+func MinOp() Op {
+	return Op{Combine: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}, Neutral: 1<<62 - 1}
+}
+
+// SumOp aggregates the sum.
+func SumOp() Op {
+	return Op{Combine: func(a, b int64) int64 { return a + b }, Neutral: 0}
+}
+
+// OrOp aggregates logical OR over {0,1}.
+func OrOp() Op {
+	return Op{Combine: func(a, b int64) int64 {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}, Neutral: 0}
+}
+
+// Broadcast delivers the leader's value to every node (Theorem 4). The
+// leader is whichever single node passes have=true; its token travels up to
+// the TBFS root and floods down. Every node returns the value.
+//
+// Rounds: exactly 2·(⌈log₂ n⌉ + 2) from the caller's current round.
+func Broadcast(nd *ncc.Node, t *primitives.Tree, have bool, value int64) int64 {
+	K := ncc.CeilLog2(nd.N())
+	start := nd.Round()
+	upDeadline := start + K + 2
+	got := have
+	val := value
+	// Up phase: the leader's token climbs to the root.
+	if have && !t.IsRoot {
+		nd.Send(t.Parent, ncc.Message{Kind: kUp, A: value})
+	}
+	if !t.IsRoot {
+		// Relay any up-token that passes through us.
+		for nd.Round() < upDeadline {
+			in := primitives.SyncAt(nd, nd.Round()+1)
+			for _, m := range in {
+				if m.Kind == kUp {
+					nd.Send(t.Parent, ncc.Message{Kind: kUp, A: m.A})
+				}
+			}
+		}
+	} else {
+		for nd.Round() < upDeadline {
+			in := primitives.SyncAt(nd, nd.Round()+1)
+			for _, m := range in {
+				if m.Kind == kUp {
+					got, val = true, m.A
+				}
+			}
+		}
+	}
+	// Down phase: flood from the root.
+	if t.IsRoot {
+		if !got {
+			panic("aggregate: Broadcast with no leader")
+		}
+		sendDown(nd, t, kDown, val)
+	} else {
+		waiting := true
+		for waiting {
+			for _, m := range nd.AwaitMessage() {
+				if m.Kind == kDown {
+					val = m.A
+					waiting = false
+				}
+			}
+		}
+		sendDown(nd, t, kDown, val)
+	}
+	primitives.SyncAt(nd, upDeadline+K+3)
+	return val
+}
+
+func sendDown(nd *ncc.Node, t *primitives.Tree, kind uint8, v int64) {
+	if t.Left != ncc.None {
+		nd.Send(t.Left, ncc.Message{Kind: kind, A: v})
+	}
+	if t.Right != ncc.None {
+		nd.Send(t.Right, ncc.Message{Kind: kind, A: v})
+	}
+}
+
+// AggregateBroadcast folds every node's value with the distributive operator
+// op and returns the global result to every node (Theorem 4's aggregation
+// followed by a broadcast of the result, the form all realization algorithms
+// use). Convergecast up the TBFS, flood down.
+//
+// Rounds: exactly 2·(⌈log₂ n⌉ + 3) from the caller's current round.
+func AggregateBroadcast(nd *ncc.Node, t *primitives.Tree, value int64, op Op) int64 {
+	K := ncc.CeilLog2(nd.N())
+	startA := nd.Round()
+	children := 0
+	if t.Left != ncc.None {
+		children++
+	}
+	if t.Right != ncc.None {
+		children++
+	}
+	acc := value
+	for got := 0; got < children; {
+		for _, m := range nd.AwaitMessage() {
+			if m.Kind == kAggUp {
+				acc = op.Combine(acc, m.A)
+				got++
+			}
+		}
+	}
+	if !t.IsRoot {
+		nd.Send(t.Parent, ncc.Message{Kind: kAggUp, A: acc})
+	}
+	primitives.SyncAt(nd, startA+K+3)
+
+	startB := nd.Round()
+	val := acc // correct only at the root; others receive it below
+	if t.IsRoot {
+		sendDown(nd, t, kAggDown, val)
+	} else {
+		waiting := true
+		for waiting {
+			for _, m := range nd.AwaitMessage() {
+				if m.Kind == kAggDown {
+					val = m.A
+					waiting = false
+				}
+			}
+		}
+		sendDown(nd, t, kAggDown, val)
+	}
+	primitives.SyncAt(nd, startB+K+3)
+	return val
+}
+
+// FindByPosition returns the ID of the node whose annotated inorder position
+// equals pos, made common knowledge via aggregation (the Corollary 2 median
+// primitive generalized to any position). Rounds: one AggregateBroadcast.
+func FindByPosition(nd *ncc.Node, t *primitives.Tree, pos int) ncc.ID {
+	v := int64(0)
+	if t.Pos == pos {
+		v = int64(nd.ID())
+	}
+	id := ncc.ID(AggregateBroadcast(nd, t, v, MaxOp()))
+	if id != ncc.None {
+		nd.Learn(id)
+	}
+	return id
+}
+
+// Collect gathers every node's tokens at the leader (Theorem 5): tokens are
+// pipelined up the TBFS with per-round throttling that respects the node
+// capacity, then streamed from the root to the leader. All nodes must pass
+// the same leader ID (normally learned via Broadcast beforehand); nodes
+// without tokens pass nil. Returns the collected tokens at the leader (nil
+// elsewhere). Termination is event-driven — the root floods a phase-end
+// marker once everything has drained — so the round cost adapts to the token
+// count k as O(k + log n). On return all nodes are resynchronized to the
+// same round (the marker's flood time is corrected using each node's depth).
+func Collect(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID) []int64 {
+	K := ncc.CeilLog2(nd.N())
+	budget := nd.Capacity()/2 - 1
+	if budget < 1 {
+		budget = 1
+	}
+	children := 0
+	if t.Left != ncc.None {
+		children++
+	}
+	if t.Right != ncc.None {
+		children++
+	}
+	queue := append([]int64(nil), tokens...)
+	var atLeader []int64
+	doneChildren := 0
+	sentDone := false
+	var leaderQueue []int64 // root only: tokens to stream to the leader
+	// resync aligns every node to the same round after the phase-end flood:
+	// a node at depth d learns of the end d rounds after the root flooded it.
+	resync := func() []int64 {
+		base := nd.Round() - t.Depth
+		for _, m := range primitives.SyncAt(nd, base+K+3) {
+			if m.Kind == kLeaderTok {
+				atLeader = append(atLeader, m.A)
+			}
+		}
+		return atLeader
+	}
+	for {
+		// Ship up to budget tokens towards the root (or buffer at the root).
+		nSend := len(queue)
+		if nSend > budget {
+			nSend = budget
+		}
+		for i := 0; i < nSend; i++ {
+			if t.IsRoot {
+				leaderQueue = append(leaderQueue, queue[i])
+			} else {
+				nd.Send(t.Parent, ncc.Message{Kind: kToken, A: queue[i]})
+			}
+		}
+		queue = queue[nSend:]
+		if t.IsRoot {
+			// Stream buffered tokens to the leader.
+			nLead := len(leaderQueue)
+			if nLead > budget {
+				nLead = budget
+			}
+			for i := 0; i < nLead; i++ {
+				if leader == nd.ID() {
+					atLeader = append(atLeader, leaderQueue[i])
+				} else {
+					nd.Send(leader, ncc.Message{Kind: kLeaderTok, A: leaderQueue[i]})
+				}
+			}
+			leaderQueue = leaderQueue[nLead:]
+			if doneChildren == children && len(queue) == 0 && len(leaderQueue) == 0 {
+				sendDown(nd, t, kPhaseEnd, 0)
+				nd.NextRound() // the round in which the flood departs
+				return resync()
+			}
+		} else if doneChildren == children && len(queue) == 0 && !sentDone {
+			nd.Send(t.Parent, ncc.Message{Kind: kTokenDone})
+			sentDone = true
+		}
+		for _, m := range nd.NextRound() {
+			switch m.Kind {
+			case kToken:
+				queue = append(queue, m.A)
+			case kTokenDone:
+				doneChildren++
+			case kLeaderTok:
+				atLeader = append(atLeader, m.A)
+			case kPhaseEnd:
+				sendDown(nd, t, kPhaseEnd, 0)
+				nd.NextRound() // the round in which the relayed flood departs
+				return resync()
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package aggregate
+
+import (
+	"testing"
+
+	"graphrealize/internal/ncc"
+	"graphrealize/internal/primitives"
+)
+
+// localSetup builds the LocalCtx every local-primitive test needs.
+func localSetup(nd *ncc.Node) *LocalCtx {
+	_, lv, tree := primitives.BuildAll(nd)
+	return NewLocalCtx(tree.Pos, lv, &tree, nd.N())
+}
+
+func TestLocalAggregateDisjointGroups(t *testing.T) {
+	// Group gid = pos/8 sums the positions of its 8 members; destination is
+	// the group's first member.
+	n := 64
+	s := ncc.New(ncc.Config{N: n, Seed: 3})
+	tr, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		gid := int64(c.Pos / 8)
+		contribs := []GroupValue{{GID: gid, Value: int64(c.Pos)}}
+		var dest []int64
+		if c.Pos%8 == 0 {
+			dest = []int64{gid}
+		}
+		res := LocalAggregate(nd, c, contribs, dest, SumOp())
+		if v, ok := res[gid]; ok {
+			nd.SetOutput("sum", v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for g := 0; g < n/8; g++ {
+		base := g * 8
+		want := int64(8*base + 28) // Σ pos..pos+7
+		got, ok := tr.Output(tr.IDs[base], "sum")
+		if !ok || got != want {
+			t.Fatalf("group %d: sum %d (ok=%v), want %d", g, got, ok, want)
+		}
+	}
+}
+
+func TestLocalAggregateOverlappingGroups(t *testing.T) {
+	// Every node belongs to two groups: its row and its column in an 8×8
+	// arrangement; destinations are the diagonal nodes.
+	n := 64
+	s := ncc.New(ncc.Config{N: n, Seed: 5})
+	tr, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		row, col := int64(c.Pos/8), int64(c.Pos%8)
+		contribs := []GroupValue{
+			{GID: row, Value: 1},
+			{GID: 100 + col, Value: 1},
+		}
+		var dest []int64
+		if row == col {
+			dest = []int64{row, 100 + col}
+		}
+		res := LocalAggregate(nd, c, contribs, dest, SumOp())
+		if v, ok := res[row]; ok {
+			nd.SetOutput("rowcount", v)
+		}
+		if v, ok := res[100+col]; ok {
+			nd.SetOutput("colcount", v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for d := 0; d < 8; d++ {
+		id := tr.IDs[d*8+d]
+		if v, _ := tr.Output(id, "rowcount"); v != 8 {
+			t.Fatalf("diag %d: row count %d, want 8", d, v)
+		}
+		if v, _ := tr.Output(id, "colcount"); v != 8 {
+			t.Fatalf("diag %d: col count %d, want 8", d, v)
+		}
+	}
+}
+
+func TestLocalMulticast(t *testing.T) {
+	// Group gid = pos/10: source is the last member, token = gid*111.
+	n := 50
+	s := ncc.New(ncc.Config{N: n, Seed: 7})
+	tr, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		gid := int64(c.Pos / 10)
+		var src []GroupToken
+		if c.Pos%10 == 9 {
+			src = []GroupToken{{GID: gid, Token: gid * 111}}
+		}
+		got := LocalMulticast(nd, c, src, []int64{gid})
+		if v, ok := got[gid]; ok {
+			nd.SetOutput("tok", v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, id := range tr.IDs {
+		want := int64(i/10) * 111
+		got, ok := tr.Output(id, "tok")
+		if !ok || got != want {
+			t.Fatalf("pos %d: token %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+}
+
+func TestLocalCollect(t *testing.T) {
+	// One group per 16-block; each member sends its position; the block
+	// head collects all 16.
+	n := 64
+	s := ncc.New(ncc.Config{N: n, Seed: 9})
+	type res struct {
+		id   ncc.ID
+		toks []int64
+	}
+	ch := make(chan res, n)
+	tr, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		gid := int64(c.Pos / 16)
+		toks := []GroupToken{{GID: gid, Token: int64(c.Pos)}}
+		var dest []int64
+		if c.Pos%16 == 0 {
+			dest = []int64{gid}
+		}
+		got := LocalCollect(nd, c, toks, dest)
+		ch <- res{nd.ID(), got[gid]}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	close(ch)
+	byID := map[ncc.ID][]int64{}
+	for r := range ch {
+		byID[r.id] = r.toks
+	}
+	for g := 0; g < 4; g++ {
+		head := tr.IDs[g*16]
+		toks := byID[head]
+		if len(toks) != 16 {
+			t.Fatalf("group %d: collected %d tokens, want 16", g, len(toks))
+		}
+		seen := map[int64]bool{}
+		for _, v := range toks {
+			if v < int64(g*16) || v >= int64((g+1)*16) || seen[v] {
+				t.Fatalf("group %d: bad/duplicate token %d", g, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestLocalPrimitivesSingleNode(t *testing.T) {
+	s := ncc.New(ncc.Config{N: 1, Seed: 11})
+	_, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		res := LocalAggregate(nd, c, []GroupValue{{GID: 1, Value: 5}}, []int64{1}, SumOp())
+		if res[1] != 5 {
+			panic("self aggregation failed")
+		}
+		mc := LocalMulticast(nd, c, []GroupToken{{GID: 2, Token: 9}}, []int64{2})
+		if mc[2] != 9 {
+			panic("self multicast failed")
+		}
+		col := LocalCollect(nd, c, []GroupToken{{GID: 3, Token: 4}}, []int64{3})
+		if len(col[3]) != 1 || col[3][0] != 4 {
+			panic("self collect failed")
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestLocalAggregateMaxOp(t *testing.T) {
+	n := 32
+	s := ncc.New(ncc.Config{N: n, Seed: 13})
+	tr, err := s.Run(func(nd *ncc.Node) {
+		c := localSetup(nd)
+		var dest []int64
+		if c.Pos == n-1 {
+			dest = []int64{7}
+		}
+		res := LocalAggregate(nd, c, []GroupValue{{GID: 7, Value: int64(c.Pos * c.Pos)}}, dest, MaxOp())
+		if v, ok := res[7]; ok {
+			nd.SetOutput("max", v)
+		}
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := int64((n - 1) * (n - 1))
+	if v, _ := tr.Output(tr.IDs[n-1], "max"); v != want {
+		t.Fatalf("max = %d, want %d", v, want)
+	}
+}

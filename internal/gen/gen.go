@@ -1,0 +1,296 @@
+// Package gen generates the workloads the benchmark harness sweeps over:
+// graphic degree sequences from several families (regular, power-law,
+// random-graph, star-heavy, bimodal), tree-realizable sequences, connectivity
+// threshold vectors, and the adversarial lower-bound instances of §7. All
+// generators are deterministic in their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"graphrealize/internal/seq"
+)
+
+// Regular returns the d-regular sequence on n vertices. A regular sequence
+// is graphic iff 0 ≤ d < n and n·d is even; the generator panics on an
+// infeasible request so tests cannot silently diverge from their intent.
+func Regular(n, d int) []int {
+	if d < 0 || d >= n || (n*d)%2 != 0 {
+		panic("gen: Regular(n,d) requires 0 ≤ d < n and n·d even")
+	}
+	s := make([]int, n)
+	for i := range s {
+		s[i] = d
+	}
+	return s
+}
+
+// FromRandomGraph samples G(n,p) and returns its degree sequence, which is
+// graphic by construction. This is the "typical instance" family.
+func FromRandomGraph(n int, p float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]int, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				d[u]++
+				d[v]++
+			}
+		}
+	}
+	return d
+}
+
+// PowerLaw returns a graphic sequence with Pr[deg = k] ∝ k^(−alpha) truncated
+// to [1, dmax], repaired to graphicality by MakeGraphic. Models skewed P2P
+// degree demands.
+func PowerLaw(n int, alpha float64, dmax int, seed int64) []int {
+	if dmax >= n {
+		dmax = n - 1
+	}
+	if dmax < 1 {
+		dmax = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Inverse-CDF sampling over the discrete truncated power law.
+	weights := make([]float64, dmax+1)
+	total := 0.0
+	for k := 1; k <= dmax; k++ {
+		weights[k] = math.Pow(float64(k), -alpha)
+		total += weights[k]
+	}
+	d := make([]int, n)
+	for i := range d {
+		r := rng.Float64() * total
+		acc := 0.0
+		d[i] = dmax
+		for k := 1; k <= dmax; k++ {
+			acc += weights[k]
+			if r <= acc {
+				d[i] = k
+				break
+			}
+		}
+	}
+	return MakeGraphic(d)
+}
+
+// StarHeavy returns a graphic sequence with h hubs of degree hubDeg and the
+// rest leaves of small degree, repaired to graphicality. This family drives
+// the Δ ≫ √m regime of Theorem 11.
+func StarHeavy(n, h, hubDeg int) []int {
+	if hubDeg >= n {
+		hubDeg = n - 1
+	}
+	d := make([]int, n)
+	for i := 0; i < h && i < n; i++ {
+		d[i] = hubDeg
+	}
+	for i := h; i < n; i++ {
+		d[i] = 1
+	}
+	return MakeGraphic(d)
+}
+
+// Bimodal returns a graphic sequence with half the vertices at degree lo and
+// half at degree hi, repaired to graphicality.
+func Bimodal(n, lo, hi int) []int {
+	if hi >= n {
+		hi = n - 1
+	}
+	if lo > hi {
+		lo = hi
+	}
+	d := make([]int, n)
+	for i := range d {
+		if i%2 == 0 {
+			d[i] = hi
+		} else {
+			d[i] = lo
+		}
+	}
+	return MakeGraphic(d)
+}
+
+// MakeGraphic repairs an arbitrary non-negative sequence into a graphic one
+// by clamping to n−1 and then decrementing the largest positive entries until
+// the Erdős–Gallai conditions hold. The result preserves the shape of the
+// input distribution.
+func MakeGraphic(d []int) []int {
+	n := len(d)
+	out := append([]int(nil), d...)
+	for i := range out {
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if out[i] > n-1 {
+			out[i] = n - 1
+		}
+	}
+	for !seq.IsGraphic(out) {
+		// Decrement the current maximum entry.
+		maxI := 0
+		for i := range out {
+			if out[i] > out[maxI] {
+				maxI = i
+			}
+		}
+		if out[maxI] == 0 {
+			break // all-zero is graphic; defensive
+		}
+		out[maxI]--
+	}
+	return out
+}
+
+// NonGraphic returns a sequence guaranteed to be non-graphic with total
+// degree parameterized by n and base: it takes a graphic base sequence and
+// raises its maximum entry to n−1 while pinning many entries at 1, violating
+// Erdős–Gallai. Used by the Theorem 13 (upper-envelope) experiments.
+func NonGraphic(n int, seed int64) []int {
+	if n < 4 {
+		panic("gen: NonGraphic needs n ≥ 4")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]int, n)
+	// Three high-degree vertices in a sea of degree-1 vertices: k=3 gives
+	// lhs ≈ 3(n−1) vs rhs = 6 + (n−3), violated for n ≥ 7; smaller n are
+	// fixed up below by the explicit check.
+	for i := range d {
+		d[i] = 1
+	}
+	d[0], d[1], d[2] = n-1, n-1, n-1
+	if seq.IsGraphic(d) {
+		// Tiny n fallback: force odd sum.
+		d[3] = 2
+		if seq.IsGraphic(d) {
+			d[0] = n - 1
+			d[1] = 1
+		}
+	}
+	// Shuffle so positions are not degree-sorted.
+	rng.Shuffle(n, func(i, j int) { d[i], d[j] = d[j], d[i] })
+	if seq.IsGraphic(d) {
+		panic("gen: NonGraphic produced a graphic sequence")
+	}
+	return d
+}
+
+// TreeSequence returns a uniformly random tree-realizable degree sequence on
+// n vertices, derived from a random Prüfer string: deg(v) = 1 + multiplicity
+// of v in the string. Always satisfies Σd = 2(n−1).
+func TreeSequence(n int, seed int64) []int {
+	if n == 1 {
+		return []int{0}
+	}
+	if n == 2 {
+		return []int{1, 1}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := make([]int, n)
+	for i := range d {
+		d[i] = 1
+	}
+	for i := 0; i < n-2; i++ {
+		d[rng.Intn(n)]++
+	}
+	return d
+}
+
+// CaterpillarSequence returns the tree sequence of a caterpillar with spine
+// length k on n vertices: a long-diameter stress case for Algorithm 4 vs 5.
+func CaterpillarSequence(n, k int) []int {
+	if k < 2 || k > n {
+		panic("gen: CaterpillarSequence needs 2 ≤ k ≤ n")
+	}
+	d := make([]int, n)
+	leaves := n - k
+	for i := 0; i < k; i++ {
+		d[i] = 2
+	}
+	for i := k; i < n; i++ {
+		d[i] = 1
+	}
+	d[0], d[k-1] = 1, 1
+	i := 0
+	for leaves > 0 {
+		d[i%k]++
+		i++
+		leaves--
+	}
+	return d
+}
+
+// StarSequence returns the star tree sequence: one hub of degree n−1.
+func StarSequence(n int) []int {
+	d := make([]int, n)
+	for i := 1; i < n; i++ {
+		d[i] = 1
+	}
+	d[0] = n - 1
+	return d
+}
+
+// UniformRho returns a connectivity threshold vector with ρ(v) uniform in
+// [1, maxRho].
+func UniformRho(n, maxRho int, seed int64) []int {
+	if maxRho > n-1 {
+		maxRho = n - 1
+	}
+	if maxRho < 1 {
+		maxRho = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rho := make([]int, n)
+	for i := range rho {
+		rho[i] = 1 + rng.Intn(maxRho)
+	}
+	return rho
+}
+
+// TieredRho returns a threshold vector modeling a survivable network: a small
+// core requiring high connectivity, a middle tier, and an edge tier.
+func TieredRho(n, coreSize, coreRho, midRho, edgeRho int) []int {
+	rho := make([]int, n)
+	for i := range rho {
+		switch {
+		case i < coreSize:
+			rho[i] = coreRho
+		case i < n/2:
+			rho[i] = midRho
+		default:
+			rho[i] = edgeRho
+		}
+		if rho[i] > n-1 {
+			rho[i] = n - 1
+		}
+		if rho[i] < 1 {
+			rho[i] = 1
+		}
+	}
+	return rho
+}
+
+// LowerBoundDStar returns the §7 family D*: k = ⌊√m⌋ vertices of degree k
+// and the rest zero, so the realization is (essentially) a clique among the
+// first k vertices and the first k nodes must jointly learn Ω(m) IDs.
+func LowerBoundDStar(n, m int) []int {
+	k := int(math.Sqrt(float64(m)))
+	if k > n {
+		k = n
+	}
+	if k%2 == 0 {
+		// k vertices of degree k−1 form K_k; keep Σd even and graphic.
+		d := make([]int, n)
+		for i := 0; i < k; i++ {
+			d[i] = k - 1
+		}
+		return d
+	}
+	d := make([]int, n)
+	for i := 0; i < k; i++ {
+		d[i] = k - 1
+	}
+	return MakeGraphic(d)
+}

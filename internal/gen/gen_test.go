@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphrealize/internal/seq"
+)
+
+func TestRegularGraphic(t *testing.T) {
+	for _, c := range []struct{ n, d int }{{8, 3}, {10, 4}, {7, 2}, {2, 1}, {5, 0}} {
+		s := Regular(c.n, c.d)
+		if len(s) != c.n {
+			t.Fatalf("Regular(%d,%d) length %d", c.n, c.d, len(s))
+		}
+		if !seq.IsGraphic(s) {
+			t.Fatalf("Regular(%d,%d) not graphic", c.n, c.d)
+		}
+	}
+}
+
+func TestRegularPanicsOnInfeasible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Regular(5,3) should panic (odd n·d)")
+		}
+	}()
+	Regular(5, 3)
+}
+
+func TestFromRandomGraphAlwaysGraphic(t *testing.T) {
+	f := func(seed int64) bool {
+		d := FromRandomGraph(30, 0.2, seed)
+		return seq.IsGraphic(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawGraphicAndBounded(t *testing.T) {
+	d := PowerLaw(200, 2.2, 40, 7)
+	if !seq.IsGraphic(d) {
+		t.Fatal("PowerLaw not graphic after repair")
+	}
+	for _, v := range d {
+		if v < 0 || v > 40 {
+			t.Fatalf("degree %d out of [0,40]", v)
+		}
+	}
+}
+
+func TestStarHeavyGraphic(t *testing.T) {
+	d := StarHeavy(100, 3, 60)
+	if !seq.IsGraphic(d) {
+		t.Fatal("StarHeavy not graphic")
+	}
+	if seq.MaxDegree(d) < 30 {
+		t.Fatalf("StarHeavy hub degree collapsed to %d", seq.MaxDegree(d))
+	}
+}
+
+func TestBimodalGraphic(t *testing.T) {
+	d := Bimodal(50, 2, 10)
+	if !seq.IsGraphic(d) {
+		t.Fatal("Bimodal not graphic")
+	}
+}
+
+func TestMakeGraphicIdempotentOnGraphic(t *testing.T) {
+	d := []int{3, 3, 3, 3}
+	got := MakeGraphic(d)
+	for i := range d {
+		if got[i] != d[i] {
+			t.Fatalf("MakeGraphic changed an already graphic sequence: %v -> %v", d, got)
+		}
+	}
+}
+
+func TestMakeGraphicRepairs(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		d := make([]int, n)
+		r := seed
+		for i := range d {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(uint64(r) % uint64(2*n))
+			d[i] = v
+		}
+		return seq.IsGraphic(MakeGraphic(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonGraphicReallyIsnt(t *testing.T) {
+	for n := 4; n <= 40; n += 3 {
+		d := NonGraphic(n, int64(n))
+		if seq.IsGraphic(d) {
+			t.Fatalf("NonGraphic(%d) produced a graphic sequence %v", n, d)
+		}
+		if len(d) != n {
+			t.Fatalf("length %d, want %d", len(d), n)
+		}
+	}
+}
+
+func TestTreeSequenceValid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		return seq.IsTreeSequence(TreeSequence(n, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaterpillarAndStarSequences(t *testing.T) {
+	if d := CaterpillarSequence(10, 5); !seq.IsTreeSequence(d) {
+		t.Fatalf("caterpillar not a tree sequence: %v", d)
+	}
+	if d := CaterpillarSequence(6, 6); !seq.IsTreeSequence(d) {
+		t.Fatalf("pure path not a tree sequence: %v", d)
+	}
+	if d := StarSequence(7); !seq.IsTreeSequence(d) || seq.MaxDegree(d) != 6 {
+		t.Fatalf("star sequence wrong: %v", d)
+	}
+}
+
+func TestUniformRhoInRange(t *testing.T) {
+	rho := UniformRho(30, 6, 5)
+	for _, v := range rho {
+		if v < 1 || v > 6 {
+			t.Fatalf("rho %d out of [1,6]", v)
+		}
+	}
+}
+
+func TestTieredRho(t *testing.T) {
+	rho := TieredRho(20, 4, 8, 3, 1)
+	if rho[0] != 8 || rho[3] != 8 {
+		t.Fatalf("core rho wrong: %v", rho)
+	}
+	if rho[5] != 3 || rho[19] != 1 {
+		t.Fatalf("tier rho wrong: %v", rho)
+	}
+}
+
+func TestLowerBoundDStarGraphic(t *testing.T) {
+	for _, m := range []int{16, 64, 100, 256, 1000} {
+		d := LowerBoundDStar(200, m)
+		if !seq.IsGraphic(d) {
+			t.Fatalf("DStar(m=%d) not graphic: max=%d", m, seq.MaxDegree(d))
+		}
+		nonzero := 0
+		for _, v := range d {
+			if v > 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 {
+			t.Fatalf("DStar(m=%d) degenerate", m)
+		}
+	}
+}
+
+func TestDeterminismOfSeededGenerators(t *testing.T) {
+	a := PowerLaw(100, 2.0, 30, 11)
+	b := PowerLaw(100, 2.0, 30, 11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PowerLaw not deterministic in seed")
+		}
+	}
+	c := TreeSequence(50, 13)
+	d := TreeSequence(50, 13)
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatal("TreeSequence not deterministic in seed")
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"graphrealize/internal/aggregate"
+	"graphrealize/internal/core"
+	"graphrealize/internal/gen"
+	"graphrealize/internal/graph"
+	"graphrealize/internal/ncc"
+	"graphrealize/internal/primitives"
+	"graphrealize/internal/seq"
+	"graphrealize/internal/sortnet"
+	"graphrealize/internal/trees"
+)
+
+// mustRun executes a protocol and panics on simulator errors — experiments
+// are deterministic, so an error is a bug, not a measurement.
+func mustRun(s *ncc.Sim, proto func(*ncc.Node)) *ncc.Trace {
+	tr, err := s.Run(proto)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return tr
+}
+
+func buildGraph(tr *ncc.Trace) *graph.Graph {
+	idx := make(map[ncc.ID]int, len(tr.IDs))
+	for i, id := range tr.IDs {
+		idx[id] = i
+	}
+	g := graph.New(len(tr.IDs))
+	for e := range tr.EdgeSet() {
+		_ = g.AddEdge(idx[e[0]], idx[e[1]])
+	}
+	return g
+}
+
+func toInputs(d []int) []any {
+	in := make([]any, len(d))
+	for i, v := range d {
+		in[i] = v
+	}
+	return in
+}
+
+// T1TreeConstruction measures Theorem 1 + Corollary 2: the TBFS (structure
+// L + controlled BFS + annotation) is built in O(log n) rounds with height
+// ≤ ⌈log₂ n⌉ + 1, and inorder equals the path order.
+func T1TreeConstruction(sc Scale) *Table {
+	t := &Table{
+		ID:      "T1",
+		Title:   "Balanced BST construction and positions (Thm 1, Cor 2)",
+		Claim:   "rounds = O(log n); height ≤ ⌈log n⌉+1; inorder = Gk order",
+		Columns: []string{"n", "ceil(log n)", "rounds", "rounds/log n", "height", "inorder=Gk"},
+	}
+	for _, n := range sc.sizes([]int{64, 256, 1024}, []int{64, 256, 1024, 4096, 16384}) {
+		s := ncc.New(ncc.Config{N: n, Seed: int64(n), Strict: true})
+		tr := mustRun(s, func(nd *ncc.Node) {
+			_, _, tree := primitives.BuildAll(nd)
+			nd.SetOutput("pos", int64(tree.Pos))
+			nd.SetOutput("depth", int64(tree.Depth))
+		})
+		height, ok := 0, true
+		for i, id := range tr.IDs {
+			d, _ := tr.Output(id, "depth")
+			if int(d) > height {
+				height = int(d)
+			}
+			if p, _ := tr.Output(id, "pos"); p != int64(i) {
+				ok = false
+			}
+		}
+		K := ncc.CeilLog2(n)
+		t.AddRow(n, K, tr.Metrics.Rounds, float64(tr.Metrics.Rounds)/float64(K), height, ok)
+	}
+	return t
+}
+
+// T2Sorting measures Theorem 3: the sorted path. The oracle charges the
+// ⌈log n⌉³ bound; the odd-even protocol is the real O(n) naive baseline the
+// polylogarithmic algorithm beats (ablation A1).
+func T2Sorting(sc Scale) *Table {
+	t := &Table{
+		ID:      "T2",
+		Title:   "Distributed sorting into a sorted path (Thm 3)",
+		Claim:   "merge protocol O(log³ n) rounds (real) vs O(n) naive protocol",
+		Columns: []string{"n", "merge rounds", "merge/log³n", "oracle charge", "oddeven rounds", "oddeven/n"},
+	}
+	for _, n := range sc.sizes([]int{64, 256}, []int{64, 256, 1024}) {
+		run := func(m sortnet.Method) int {
+			s := ncc.New(ncc.Config{N: n, Seed: int64(n) * 3, Strict: true})
+			sortnet.RegisterOracle(s)
+			start := 0
+			tr := mustRun(s, func(nd *ncc.Node) {
+				p, _, tree := primitives.BuildAll(nd)
+				if tree.IsRoot {
+					start = nd.Round()
+				}
+				srt := &sortnet.Sorter{Method: m, Path: p, Pos: tree.Pos, Tree: &tree}
+				srt.Sort(nd, nd.Rand().Int63n(1000))
+			})
+			return tr.Metrics.Rounds - start
+		}
+		K := ncc.CeilLog2(n)
+		oracle := run(sortnet.Oracle)
+		oddEven := run(sortnet.OddEven)
+		merge := run(sortnet.Merge)
+		t.AddRow(n, merge, float64(merge)/float64(K*K*K), oracle, oddEven, float64(oddEven)/float64(n))
+	}
+	return t
+}
+
+// T3GlobalPrimitives measures Theorems 4–5: broadcast and aggregation in
+// O(log n) rounds; collection in O(k + log n).
+func T3GlobalPrimitives(sc Scale) *Table {
+	t := &Table{
+		ID:      "T3",
+		Title:   "Global broadcast/aggregation/collection (Thms 4, 5)",
+		Claim:   "broadcast & aggregation O(log n); collection O(k + log n)",
+		Columns: []string{"n", "k tokens", "bcast rounds", "agg rounds", "collect rounds"},
+	}
+	for _, n := range sc.sizes([]int{64, 256}, []int{64, 256, 1024, 4096}) {
+		for _, perNode := range []int{1, 4} {
+			var bcast, agg, collect int
+			s := ncc.New(ncc.Config{N: n, Seed: int64(n + perNode)})
+			mustRun(s, func(nd *ncc.Node) {
+				_, _, tree := primitives.BuildAll(nd)
+				r0 := nd.Round()
+				aggregate.Broadcast(nd, &tree, tree.IsRoot, 7)
+				r1 := nd.Round()
+				aggregate.AggregateBroadcast(nd, &tree, int64(tree.Pos), aggregate.SumOp())
+				r2 := nd.Round()
+				leader := aggregate.FindByPosition(nd, &tree, 0)
+				r3 := nd.Round()
+				toks := make([]int64, perNode)
+				for i := range toks {
+					toks[i] = int64(tree.Pos)
+				}
+				aggregate.Collect(nd, &tree, toks, leader)
+				if tree.IsRoot {
+					bcast, agg, collect = r1-r0, r2-r1, nd.Round()-r3
+				}
+			})
+			t.AddRow(n, perNode*n, bcast, agg, collect)
+		}
+	}
+	return t
+}
+
+// T4LocalPrimitives measures Theorems 6–8 over the rendezvous-routing
+// realization: rounds for g groups of s members each.
+func T4LocalPrimitives(sc Scale) *Table {
+	t := &Table{
+		ID:      "T4",
+		Title:   "Local aggregation/multicast/collection (Thms 6–8)",
+		Claim:   "O(L/n + ell/log n + log n) rounds per primitive",
+		Columns: []string{"n", "groups", "members", "L", "agg rounds", "mcast rounds", "collect rounds"},
+		Notes:   []string{"rendezvous routing over structure-L links; see DESIGN.md substitution #3"},
+	}
+	for _, n := range sc.sizes([]int{128}, []int{128, 512, 2048}) {
+		for _, groupSize := range []int{8, 32} {
+			g := n / groupSize
+			var agg, mcast, collect int
+			s := ncc.New(ncc.Config{N: n, Seed: int64(n * groupSize)})
+			mustRun(s, func(nd *ncc.Node) {
+				_, lv, tree := primitives.BuildAll(nd)
+				c := aggregate.NewLocalCtx(tree.Pos, lv, &tree, nd.N())
+				gid := int64(tree.Pos / groupSize)
+				isHead := tree.Pos%groupSize == 0
+				var dest []int64
+				if isHead {
+					dest = []int64{gid}
+				}
+				r0 := nd.Round()
+				aggregate.LocalAggregate(nd, c, []aggregate.GroupValue{{GID: gid, Value: 1}}, dest, aggregate.SumOp())
+				r1 := nd.Round()
+				var src []aggregate.GroupToken
+				if isHead {
+					src = []aggregate.GroupToken{{GID: gid, Token: gid}}
+				}
+				aggregate.LocalMulticast(nd, c, src, []int64{gid})
+				r2 := nd.Round()
+				aggregate.LocalCollect(nd, c, []aggregate.GroupToken{{GID: gid, Token: int64(tree.Pos)}}, dest)
+				if tree.IsRoot {
+					agg, mcast, collect = r1-r0, r2-r1, nd.Round()-r2
+				}
+			})
+			t.AddRow(n, g, groupSize, n, agg, mcast, collect)
+		}
+	}
+	return t
+}
+
+// degreeFamilies enumerates the instance families the §4 experiments sweep.
+func degreeFamilies(n int, seed int64) map[string][]int {
+	return map[string][]int{
+		"regular-sqrt": gen.Regular(n, evenCap(int(math.Sqrt(float64(n))), n)),
+		"regular-16":   gen.Regular(n, evenCap(16, n)),
+		"random-graph": gen.FromRandomGraph(n, 8.0/float64(n), seed),
+		"power-law":    gen.PowerLaw(n, 2.2, n/4, seed),
+		"star-heavy":   gen.StarHeavy(n, 2, n/2),
+	}
+}
+
+func evenCap(d, n int) int {
+	if d >= n {
+		d = n - 1
+	}
+	if (n*d)%2 != 0 {
+		d--
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func familyOrder() []string {
+	return []string{"regular-sqrt", "regular-16", "random-graph", "power-law", "star-heavy"}
+}
+
+func runRealize(d []int, mode core.Mode, explicit bool, seed int64) (*ncc.Trace, int) {
+	s := ncc.New(ncc.Config{N: len(d), Seed: seed, Inputs: toInputs(d)})
+	sortnet.RegisterOracle(s)
+	tr := mustRun(s, func(nd *ncc.Node) {
+		env := core.Setup(nd, sortnet.Oracle)
+		out := core.Realize(nd, env, nd.Input().(int), mode, true)
+		nd.SetOutput("phases", int64(out.Phases))
+		nd.SetOutput("realized", int64(out.Realized))
+		if out.OK && explicit {
+			core.MakeExplicit(nd, env, out.Neighbors, out.Delta)
+		}
+	})
+	phases, _ := tr.Output(tr.IDs[0], "phases")
+	return tr, int(phases)
+}
+
+// T5ImplicitRealization measures Theorem 11 + Lemma 10 across families.
+func T5ImplicitRealization(sc Scale) *Table {
+	t := &Table{
+		ID:      "T5",
+		Title:   "Implicit degree realization (Thm 11, Lemma 10)",
+		Claim:   "rounds = O~(min{√m, Δ}); phases ≤ 2·min{√m, Δ}+2; degrees exact",
+		Columns: []string{"family", "n", "Δ", "m", "min(√m,Δ)", "phases", "rounds", "real", "real/phase", "degrees ok"},
+	}
+	for _, n := range sc.sizes([]int{256}, []int{256, 1024, 4096}) {
+		fams := degreeFamilies(n, int64(n))
+		for _, name := range familyOrder() {
+			d := fams[name]
+			tr, phases := runRealize(d, core.Exact, false, int64(n)+7)
+			m := seq.SumDegrees(d) / 2
+			delta := seq.MaxDegree(d)
+			minB := delta
+			if sm := int(math.Sqrt(float64(m))); sm < minB {
+				minB = sm
+			}
+			ok := buildGraph(tr).DegreesMatch(d) && !tr.Unrealizable
+			real := tr.Metrics.Rounds - tr.Metrics.CollectiveRounds
+			perPhase := 0.0
+			if phases > 0 {
+				perPhase = float64(real) / float64(phases)
+			}
+			t.AddRow(name, n, delta, m, minB, phases, tr.Metrics.Rounds, real, perPhase, ok)
+		}
+	}
+	return t
+}
+
+// T6ExplicitRealization measures Theorem 12: the extra rounds of the
+// explicit conversion against the m/n + Δ/log n + log n shape.
+func T6ExplicitRealization(sc Scale) *Table {
+	t := &Table{
+		ID:      "T6",
+		Title:   "Explicit degree realization (Thm 12)",
+		Claim:   "conversion ≈ O(m/n + Δ/log n + log n) extra rounds",
+		Columns: []string{"family", "n", "Δ", "m", "implicit rounds", "explicit rounds", "extra", "bound shape"},
+	}
+	for _, n := range sc.sizes([]int{256}, []int{256, 1024, 4096}) {
+		fams := degreeFamilies(n, int64(n))
+		for _, name := range familyOrder() {
+			d := fams[name]
+			trI, _ := runRealize(d, core.Exact, false, int64(n)+7)
+			trE, _ := runRealize(d, core.Exact, true, int64(n)+7)
+			m := seq.SumDegrees(d) / 2
+			delta := seq.MaxDegree(d)
+			capi := trE.Metrics.Capacity
+			shape := m/n + delta/capi + ncc.CeilLog2(n)
+			t.AddRow(name, n, delta, m, trI.Metrics.Rounds, trE.Metrics.Rounds,
+				trE.Metrics.Rounds-trI.Metrics.Rounds, shape)
+		}
+	}
+	return t
+}
+
+// T7UpperEnvelope measures Theorem 13 on non-graphic inputs.
+func T7UpperEnvelope(sc Scale) *Table {
+	t := &Table{
+		ID:      "T7",
+		Title:   "Upper-envelope realization of non-graphic sequences (Thm 13)",
+		Claim:   "d' ≥ d everywhere and Σd' ≤ 2Σd",
+		Columns: []string{"n", "Σd", "Σd'", "ratio", "envelope ok"},
+	}
+	for _, n := range sc.sizes([]int{64, 256}, []int{64, 256, 1024}) {
+		d := gen.NonGraphic(n, int64(n))
+		tr, _ := runRealize(d, core.Envelope, false, int64(n)+9)
+		sumD, sumDP := 0, 0
+		ok := true
+		for i, id := range tr.IDs {
+			dp, _ := tr.Output(id, "realized")
+			want := d[i]
+			if want > n-1 {
+				want = n - 1
+			}
+			if int(dp) < want {
+				ok = false
+			}
+			sumD += want
+			sumDP += int(dp)
+		}
+		t.AddRow(n, sumD, sumDP, float64(sumDP)/float64(sumD), ok)
+	}
+	return t
+}
+
+// T8TreeRealization measures Theorems 14/16 and Lemma 15.
+func T8TreeRealization(sc Scale) *Table {
+	t := &Table{
+		ID:      "T8",
+		Title:   "Tree realization: Algorithm 4 vs Algorithm 5 (Thms 14, 16)",
+		Claim:   "both O(polylog n) rounds; Alg 5 diameter = optimal (Lemma 15)",
+		Columns: []string{"family", "n", "alg4 rounds", "alg4 diam", "alg5 rounds", "alg5 diam", "optimal diam"},
+	}
+	for _, n := range sc.sizes([]int{128}, []int{128, 512, 2048}) {
+		fams := map[string][]int{
+			"random":      gen.TreeSequence(n, int64(n)),
+			"caterpillar": gen.CaterpillarSequence(n, n/4),
+			"star":        gen.StarSequence(n),
+		}
+		for _, name := range []string{"random", "caterpillar", "star"} {
+			d := fams[name]
+			run := func(greedy bool) (*ncc.Trace, int) {
+				s := ncc.New(ncc.Config{N: n, Seed: int64(n) * 5, Inputs: toInputs(d)})
+				sortnet.RegisterOracle(s)
+				tr := mustRun(s, func(nd *ncc.Node) {
+					env := core.Setup(nd, sortnet.Oracle)
+					if greedy {
+						trees.RealizeGreedy(nd, env, nd.Input().(int))
+					} else {
+						trees.RealizeChain(nd, env, nd.Input().(int))
+					}
+				})
+				return tr, buildGraph(tr).TreeDiameter()
+			}
+			tr4, d4 := run(false)
+			tr5, d5 := run(true)
+			t.AddRow(name, n, tr4.Metrics.Rounds, d4, tr5.Metrics.Rounds, d5, seq.MinTreeDiameter(d))
+		}
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+package ncc
+
+import "fmt"
+
+// MaxIDsPerMessage bounds the number of node IDs a single message may carry.
+// Together with the four scalar words this keeps every message at a constant
+// number of Θ(log n)-bit words, as the model requires.
+const MaxIDsPerMessage = 4
+
+// Message is a single O(log n)-bit datagram. Protocols are free to assign
+// meaning to Kind and the scalar payload words A..D. IDs carried in the IDs
+// slice are "learned" by the receiver (NCC0 knowledge transfer); scalar words
+// are not interpreted as IDs and teach the receiver nothing.
+//
+// Src is stamped by the simulator on delivery; senders need not set it.
+// Receiving a message always teaches the receiver Src (a message carries its
+// return address, like an IP packet).
+type Message struct {
+	Src  ID    // stamped by the simulator; the sender's ID
+	Kind uint8 // protocol-defined message type
+	A    int64 // scalar payload words (protocol-defined)
+	B    int64
+	C    int64
+	D    int64
+	IDs  []ID // node IDs carried by this message (≤ MaxIDsPerMessage)
+
+	dst ID     // routing destination, stamped by Send
+	seq uint32 // per-sender sequence number, for deterministic ordering
+}
+
+// validate checks the static size constraints of the model.
+func (m *Message) validate() error {
+	if len(m.IDs) > MaxIDsPerMessage {
+		return fmt.Errorf("ncc: message carries %d IDs, max is %d", len(m.IDs), MaxIDsPerMessage)
+	}
+	return nil
+}
+
+// WithIDs returns a copy of m carrying the given IDs. It is a small
+// convenience for the common "introduce these nodes" pattern.
+func (m Message) WithIDs(ids ...ID) Message {
+	m.IDs = ids
+	return m
+}

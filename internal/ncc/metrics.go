@@ -1,0 +1,88 @@
+package ncc
+
+import "fmt"
+
+// Metrics aggregates the cost accounting of a simulation run. Rounds is the
+// primary figure of merit in the NCC model; message counts and congestion
+// statistics support the capacity analysis.
+type Metrics struct {
+	N        int   // number of nodes
+	Capacity int   // per-node per-round send/recv message budget
+	Rounds   int   // synchronous rounds elapsed (including charged rounds)
+	Messages int64 // total messages delivered
+
+	MaxSentPerRound int // max messages sent by any node in any round
+	MaxRecvPerRound int // max messages received by any node in any round
+
+	SendViolations int // (node,round) pairs exceeding the send capacity
+	RecvViolations int // (node,round) pairs exceeding the receive capacity
+
+	// CollectiveCalls counts invocations of each registered collective
+	// operation (e.g. the oracle sort), and CollectiveRounds the rounds
+	// charged for them. Both are folded into Rounds already; they are
+	// reported separately so results remain honest about which portion of
+	// the round count was executed as a real protocol.
+	CollectiveCalls  map[string]int
+	CollectiveRounds int
+
+	// ActiveNodeRounds counts, over all rounds, how many nodes were awake —
+	// a work measure useful for the HPC-style efficiency benchmarks.
+	ActiveNodeRounds int64
+}
+
+// String renders a compact single-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d rounds=%d msgs=%d cap=%d maxSent=%d maxRecv=%d sendViol=%d recvViol=%d collRounds=%d",
+		m.N, m.Rounds, m.Messages, m.Capacity, m.MaxSentPerRound, m.MaxRecvPerRound,
+		m.SendViolations, m.RecvViolations, m.CollectiveRounds)
+}
+
+// NodeResult is the per-node outcome of a run.
+type NodeResult struct {
+	ID ID
+	// Neighbors is the node's stored overlay adjacency: every ID the node
+	// recorded via AddEdge. Implicit realizations store each edge at one
+	// endpoint; explicit realizations at both.
+	Neighbors []ID
+	// Outputs holds named scalar outputs declared via SetOutput.
+	Outputs map[string]int64
+}
+
+// Trace is the complete result of Sim.Run.
+type Trace struct {
+	Metrics Metrics
+	// IDs lists node IDs in Gk (initial path) order: IDs[0] is the head.
+	IDs []ID
+	// Nodes maps each ID to its results.
+	Nodes map[ID]*NodeResult
+	// Unrealizable is true if any node declared the instance unrealizable.
+	Unrealizable bool
+}
+
+// Output returns the named output of node id, or (0, false) if absent.
+func (t *Trace) Output(id ID, key string) (int64, bool) {
+	nr, ok := t.Nodes[id]
+	if !ok || nr.Outputs == nil {
+		return 0, false
+	}
+	v, ok := nr.Outputs[key]
+	return v, ok
+}
+
+// EdgeSet returns the union of all stored edges as canonical (lo,hi) ID pairs.
+// Duplicate storage (both endpoints of an explicit edge) collapses to one set
+// entry; self-loops are impossible by construction (Send forbids them and
+// AddEdge rejects them).
+func (t *Trace) EdgeSet() map[[2]ID]struct{} {
+	edges := make(map[[2]ID]struct{})
+	for id, nr := range t.Nodes {
+		for _, p := range nr.Neighbors {
+			a, b := id, p
+			if a > b {
+				a, b = b, a
+			}
+			edges[[2]ID{a, b}] = struct{}{}
+		}
+	}
+	return edges
+}

@@ -1,0 +1,545 @@
+package ncc
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sort"
+	"sync/atomic"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// N is the number of nodes (≥ 1).
+	N int
+	// Model selects NCC0 (default) or NCC1 initial knowledge.
+	Model Model
+	// Seed makes the run deterministic: node IDs, the Gk permutation and all
+	// per-node random sources derive from it.
+	Seed int64
+	// CapMul scales the per-round capacity: capacity = CapMul·⌈log₂ N⌉
+	// (minimum 1). Zero selects DefaultCapMul.
+	CapMul int
+	// Strict turns capacity violations into run errors instead of metrics.
+	Strict bool
+	// MaxRounds aborts runaway protocols. Zero selects DefaultMaxRounds.
+	MaxRounds int
+	// Inputs, if non-nil, assigns Inputs[i] to the node at Gk position i.
+	Inputs []any
+	// OrderedIDs forces node IDs to be assigned in increasing order along the
+	// Gk path (IDs are still random in NCC0 unless Model is NCC1). Figures in
+	// the paper use this layout; by default the path order is a random
+	// permutation of random IDs.
+	OrderedIDs bool
+}
+
+// DefaultCapMul is the default capacity multiplier. The paper's algorithms
+// send O(log n) messages per round; a multiplier of 8 absorbs the constants
+// of every protocol in this repository in strict mode.
+const DefaultCapMul = 8
+
+// DefaultMaxRounds bounds a run to guard against livelocked protocols.
+const DefaultMaxRounds = 50_000_000
+
+// ErrDeadlock is returned when every live node is waiting for a message and
+// none is in flight.
+var ErrDeadlock = errors.New("ncc: deadlock: all live nodes await messages and none are in flight")
+
+// CollectiveOut is the per-node output of a collective handler. Learn lists
+// IDs the node acquires knowledge of (NCC0 bookkeeping for centrally executed
+// primitives).
+type CollectiveOut struct {
+	Val   any
+	Learn []ID
+}
+
+// CollectiveHandler executes a named collective centrally. ins[i] is the
+// input of the node at Gk position i (nil for nodes that passed nil). It
+// returns per-position outputs and the number of rounds to charge, which
+// must be justified by an analytic bound on the primitive being replaced.
+type CollectiveHandler func(s *Sim, ins []any) (outs []any, chargeRounds int)
+
+// Sim is a single NCC simulation instance. Create with New, register any
+// collectives, then call Run exactly once.
+type Sim struct {
+	cfg      Config
+	n        int
+	capacity int
+
+	ids    []ID // Gk order
+	index  map[ID]int
+	allIDs []ID // sorted, shared in NCC1
+	nodes  []*Node
+
+	collectives map[string]CollectiveHandler
+
+	// driver state
+	round    int
+	pending  atomic.Int64
+	allIn    chan struct{}
+	active   []*Node // nodes woken for the current round (checked in when allIn fires)
+	awaiters map[int]*Node
+	sleepers sleepHeap
+	doneCnt  int
+
+	sendViol atomic.Int64
+	recvCnt  []int // per-node receive count, current round
+	touched  []int // scratch: indices with nonzero recvCnt this round
+
+	met      Metrics
+	firstErr error
+}
+
+// New creates a simulation with n nodes arranged on a directed path Gk.
+func New(cfg Config) *Sim {
+	if cfg.N < 1 {
+		panic("ncc: Config.N must be ≥ 1")
+	}
+	if cfg.CapMul == 0 {
+		cfg.CapMul = DefaultCapMul
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	n := cfg.N
+	capacity := cfg.CapMul * ceilLog2(n)
+	if capacity < cfg.CapMul {
+		capacity = cfg.CapMul
+	}
+	s := &Sim{
+		cfg:         cfg,
+		n:           n,
+		capacity:    capacity,
+		index:       make(map[ID]int, n),
+		collectives: make(map[string]CollectiveHandler),
+		allIn:       make(chan struct{}, 1),
+		awaiters:    make(map[int]*Node),
+		recvCnt:     make([]int, n),
+	}
+	s.assignIDs()
+	s.nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			sim:  s,
+			id:   s.ids[i],
+			idx:  i,
+			rng:  rand.New(rand.NewSource(mix64(cfg.Seed, int64(s.ids[i])))),
+			wake: make(chan struct{}, 1),
+		}
+		if cfg.Model == NCC0 {
+			nd.known = make(map[ID]struct{}, 8)
+		}
+		if i+1 < n {
+			nd.initialSucc = s.ids[i+1]
+			nd.Learn(nd.initialSucc)
+		}
+		if cfg.Inputs != nil && i < len(cfg.Inputs) {
+			nd.input = cfg.Inputs[i]
+		}
+		s.nodes[i] = nd
+	}
+	s.met = Metrics{N: n, Capacity: capacity, CollectiveCalls: make(map[string]int)}
+	return s
+}
+
+// assignIDs draws distinct IDs and fixes the Gk path order.
+func (s *Sim) assignIDs() {
+	n := s.n
+	rng := rand.New(rand.NewSource(mix64(s.cfg.Seed, 0x1D5)))
+	s.ids = make([]ID, n)
+	if s.cfg.Model == NCC1 {
+		// IDs are w.l.o.g. 1..n; the path order is still a permutation.
+		for i := range s.ids {
+			s.ids[i] = ID(i + 1)
+		}
+	} else {
+		// Distinct random IDs from [1, 4n²] (the paper draws from [1, n^c]).
+		span := int64(4*n)*int64(n) + 1
+		seen := make(map[ID]struct{}, n)
+		for i := 0; i < n; i++ {
+			for {
+				id := ID(rng.Int63n(span) + 1)
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					s.ids[i] = id
+					break
+				}
+			}
+		}
+	}
+	if !s.cfg.OrderedIDs {
+		rng.Shuffle(n, func(i, j int) { s.ids[i], s.ids[j] = s.ids[j], s.ids[i] })
+	} else {
+		sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	}
+	for i, id := range s.ids {
+		s.index[id] = i
+	}
+	s.allIDs = make([]ID, n)
+	copy(s.allIDs, s.ids)
+	sort.Slice(s.allIDs, func(i, j int) bool { return s.allIDs[i] < s.allIDs[j] })
+}
+
+// RegisterCollective installs a named collective handler. See Node.Collective.
+func (s *Sim) RegisterCollective(tag string, h CollectiveHandler) {
+	s.collectives[tag] = h
+}
+
+// IDs returns the node IDs in Gk (path) order. The slice is shared.
+func (s *Sim) IDs() []ID { return s.ids }
+
+// N returns the node count.
+func (s *Sim) N() int { return s.n }
+
+// Capacity returns the per-node per-round message budget.
+func (s *Sim) Capacity() int { return s.capacity }
+
+// checkin is called by a node goroutine after it has written its parked
+// state; the final check-in of a round hands control to the driver.
+func (s *Sim) checkin() {
+	if s.pending.Add(-1) == 0 {
+		s.allIn <- struct{}{}
+	}
+}
+
+func (s *Sim) noteSendViolation(nd *Node) {
+	s.sendViol.Add(1)
+}
+
+// Run executes proto on every node and drives the synchronous rounds to
+// completion. It returns the Trace and the first error encountered (protocol
+// violation, deadlock, strict capacity violation, round limit, or panic).
+func (s *Sim) Run(proto func(*Node)) (*Trace, error) {
+	panics := make(chan error, s.n)
+	s.active = append(s.active[:0], s.nodes...)
+	s.pending.Store(int64(s.n))
+	for _, nd := range s.nodes {
+		go func(nd *Node) {
+			defer func() {
+				if r := recover(); r != nil {
+					switch v := r.(type) {
+					case killedPanic:
+						// intentional unwind
+					case protoError:
+						panics <- v.err
+					default:
+						panics <- fmt.Errorf("ncc: node %d panicked: %v\n%s", nd.id, r, debug.Stack())
+					}
+				}
+				nd.state = stateDone
+				s.checkin()
+			}()
+			proto(nd)
+		}(nd)
+	}
+	s.drive(panics)
+	return s.buildTrace(), s.firstErr
+}
+
+// drive is the barrier driver loop. Between barriers it owns every parked
+// node's state; the happens-before edges are the checkin channel send (node →
+// driver) and the wake channel send (driver → node).
+func (s *Sim) drive(panics chan error) {
+	for {
+		<-s.allIn
+		// Collect goroutine errors observed this round.
+		for {
+			select {
+			case err := <-panics:
+				if s.firstErr == nil {
+					s.firstErr = err
+				}
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if s.firstErr != nil {
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+
+		// Partition the nodes that just checked in.
+		var collective []*Node
+		justDone := 0
+		for _, nd := range s.active {
+			switch nd.state {
+			case stateDone:
+				justDone++
+			case stateAwait:
+				s.awaiters[nd.idx] = nd
+			case stateSleep:
+				heap.Push(&s.sleepers, nd)
+			case stateCollective:
+				collective = append(collective, nd)
+			}
+		}
+		s.doneCnt += justDone
+
+		if len(collective) > 0 {
+			if !s.runCollective(collective) {
+				if s.killAll() {
+					continue
+				}
+				return
+			}
+		}
+
+		// Deliver messages sent this round.
+		sv := int(s.sendViol.Swap(0))
+		if sv > 0 {
+			s.met.SendViolations += sv
+			if s.cfg.Strict {
+				s.firstErr = fmt.Errorf("ncc: round %d: send capacity exceeded (capacity %d)", s.round, s.capacity)
+			}
+		}
+		if s.doneCnt == s.n {
+			// Every protocol returned during this round's compute slice; the
+			// final slice performs no further communication and does not
+			// start a new round. Deliver only to account for sent messages.
+			s.deliver()
+			s.met.Rounds = s.round
+			return
+		}
+		woken := s.deliver()
+		if s.firstErr != nil {
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+
+		// Advance the round and compute the next active set.
+		s.round++
+		if s.round > s.cfg.MaxRounds {
+			s.firstErr = fmt.Errorf("ncc: exceeded MaxRounds=%d", s.cfg.MaxRounds)
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+		next := s.nextActive(woken)
+		if len(next) == 0 {
+			if s.sleepers.Len() > 0 {
+				// Fast-forward empty rounds to the earliest wake time.
+				s.round = s.sleepers[0].wakeRound
+				next = s.nextActive(nil)
+			}
+			if len(next) == 0 {
+				s.firstErr = ErrDeadlock
+				if s.killAll() {
+					continue
+				}
+				return
+			}
+		}
+		s.wakeSet(next)
+	}
+}
+
+// nextActive gathers the nodes that act in the (already advanced) round:
+// nodes that checked in Running, awaiters that received mail (woken), and
+// sleepers whose wake round has arrived.
+func (s *Sim) nextActive(woken []*Node) []*Node {
+	next := woken[:0:0]
+	for _, nd := range s.active {
+		if nd.state == stateRunning {
+			next = append(next, nd)
+		}
+	}
+	next = append(next, woken...)
+	for s.sleepers.Len() > 0 && s.sleepers[0].wakeRound <= s.round {
+		next = append(next, heap.Pop(&s.sleepers).(*Node))
+	}
+	return next
+}
+
+// wakeSet releases the given nodes into the new round in deterministic order.
+func (s *Sim) wakeSet(next []*Node) {
+	sort.Slice(next, func(i, j int) bool { return next[i].idx < next[j].idx })
+	s.active = append(s.active[:0], next...)
+	s.met.ActiveNodeRounds += int64(len(next))
+	s.pending.Store(int64(len(next)))
+	for _, nd := range next {
+		nd.wake <- struct{}{}
+	}
+}
+
+// deliver routes every active node's outbox, enforcing receive capacity, and
+// returns the awaiters that received mail. Inbox order is deterministic:
+// senders are processed in Gk-index order (active is sorted) and each outbox
+// in send order.
+func (s *Sim) deliver() []*Node {
+	var woken []*Node
+	touched := s.touched[:0]
+	maxSent := 0
+	for _, nd := range s.active {
+		if len(nd.outbox) > maxSent {
+			maxSent = len(nd.outbox)
+		}
+		for i := range nd.outbox {
+			m := nd.outbox[i]
+			dsti, ok := s.index[m.dst]
+			if !ok {
+				continue // unreachable: Send validated
+			}
+			dst := s.nodes[dsti]
+			if s.recvCnt[dsti] == 0 {
+				touched = append(touched, dsti)
+			}
+			s.recvCnt[dsti]++
+			dst.inbox = append(dst.inbox, m)
+			s.met.Messages++
+			if aw, isAw := s.awaiters[dsti]; isAw {
+				delete(s.awaiters, dsti)
+				woken = append(woken, aw)
+			}
+		}
+		nd.outbox = nd.outbox[:0]
+	}
+	if maxSent > s.met.MaxSentPerRound {
+		s.met.MaxSentPerRound = maxSent
+	}
+	for _, i := range touched {
+		c := s.recvCnt[i]
+		if c > s.met.MaxRecvPerRound {
+			s.met.MaxRecvPerRound = c
+		}
+		if c > s.capacity {
+			s.met.RecvViolations++
+			if s.cfg.Strict && s.firstErr == nil {
+				s.firstErr = fmt.Errorf("ncc: round %d: node %d received %d messages (capacity %d)",
+					s.round, s.nodes[i].id, c, s.capacity)
+			}
+		}
+		s.recvCnt[i] = 0
+	}
+	s.touched = touched
+	return woken
+}
+
+// runCollective validates and executes a collective barrier. All live
+// (non-done) nodes must have entered the same collective; sleeping or
+// awaiting nodes indicate a protocol bug.
+func (s *Sim) runCollective(coll []*Node) bool {
+	tag := coll[0].collTag
+	for _, nd := range coll {
+		if nd.collTag != tag {
+			s.firstErr = fmt.Errorf("ncc: mixed collectives %q and %q at round %d", tag, nd.collTag, s.round)
+			return false
+		}
+	}
+	if len(coll)+s.doneCnt != s.n || s.sleepers.Len() > 0 || len(s.awaiters) > 0 {
+		s.firstErr = fmt.Errorf("ncc: collective %q entered by %d of %d live nodes at round %d",
+			tag, len(coll), s.n-s.doneCnt, s.round)
+		return false
+	}
+	h, ok := s.collectives[tag]
+	if !ok {
+		s.firstErr = fmt.Errorf("ncc: unknown collective %q", tag)
+		return false
+	}
+	ins := make([]any, s.n)
+	for _, nd := range coll {
+		ins[nd.idx] = nd.collIn
+	}
+	outs, charge := h(s, ins)
+	if charge < 0 {
+		charge = 0
+	}
+	s.round += charge
+	s.met.CollectiveRounds += charge
+	s.met.CollectiveCalls[tag]++
+	for _, nd := range coll {
+		if outs != nil {
+			nd.collOut = outs[nd.idx]
+		}
+		nd.state = stateRunning // they resume next round
+	}
+	return true
+}
+
+// killAll wakes every parked node with the kill flag so goroutines unwind.
+// It returns true if any node was woken (the driver must then consume their
+// final check-ins) and false when everything has already terminated. The
+// seen set dedupes nodes that appear both in the just-checked-in active set
+// and in the awaiter/sleeper structures.
+func (s *Sim) killAll() bool {
+	seen := make(map[int]struct{}, s.n)
+	var victims []*Node
+	add := func(nd *Node) {
+		if nd.state == stateDone {
+			return
+		}
+		if _, dup := seen[nd.idx]; dup {
+			return
+		}
+		seen[nd.idx] = struct{}{}
+		victims = append(victims, nd)
+	}
+	for _, nd := range s.active {
+		add(nd)
+	}
+	for _, nd := range s.awaiters {
+		add(nd)
+	}
+	s.awaiters = map[int]*Node{}
+	for s.sleepers.Len() > 0 {
+		add(heap.Pop(&s.sleepers).(*Node))
+	}
+	if len(victims) == 0 {
+		s.met.Rounds = s.round
+		return false
+	}
+	for _, nd := range victims {
+		nd.killed = true
+	}
+	s.pending.Store(int64(len(victims)))
+	s.active = victims
+	for _, nd := range victims {
+		nd.wake <- struct{}{}
+	}
+	return true
+}
+
+func (s *Sim) buildTrace() *Trace {
+	s.met.Rounds = s.round
+	t := &Trace{
+		Metrics: s.met,
+		IDs:     s.ids,
+		Nodes:   make(map[ID]*NodeResult, s.n),
+	}
+	for _, nd := range s.nodes {
+		t.Nodes[nd.id] = &NodeResult{ID: nd.id, Neighbors: nd.neighbors, Outputs: nd.outputs}
+		if nd.unrealizable {
+			t.Unrealizable = true
+		}
+	}
+	return t
+}
+
+// sleepHeap orders sleeping nodes by wake round.
+type sleepHeap []*Node
+
+func (h sleepHeap) Len() int           { return len(h) }
+func (h sleepHeap) Less(i, j int) bool { return h[i].wakeRound < h[j].wakeRound }
+func (h sleepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sleepHeap) Push(x any)        { *h = append(*h, x.(*Node)) }
+func (h *sleepHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// mix64 is a splitmix64-style mixer for deterministic seed derivation.
+func mix64(a, b int64) int64 {
+	z := uint64(a)*0x9E3779B97F4A7C15 + uint64(b) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	v := int64(z)
+	if v == 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,54 @@
+package seq
+
+import (
+	"sort"
+
+	"graphrealize/internal/graph"
+)
+
+// HavelHakimi constructs a simple graph realizing the degree sequence d
+// (d[i] is the required degree of vertex i), or returns (nil, false) if d is
+// not graphic. It is the classical sequential algorithm of §3.3: repeatedly
+// satisfy a maximum-degree vertex by connecting it to the next-highest-degree
+// vertices, re-sorting between steps. Runtime O((n + Σd)·log n).
+func HavelHakimi(d []int) (*graph.Graph, bool) {
+	n := len(d)
+	g := graph.New(n)
+	// rem[i] = (remaining degree, vertex); maintained sorted non-increasing.
+	type vd struct{ deg, v int }
+	rem := make([]vd, n)
+	for i, v := range d {
+		if v < 0 || v >= n {
+			if !(n == 1 && v == 0) {
+				return nil, false
+			}
+		}
+		rem[i] = vd{v, i}
+	}
+	for {
+		sort.Slice(rem, func(i, j int) bool {
+			if rem[i].deg != rem[j].deg {
+				return rem[i].deg > rem[j].deg
+			}
+			return rem[i].v < rem[j].v
+		})
+		if rem[0].deg == 0 {
+			break
+		}
+		k := rem[0].deg
+		if k >= len(rem) {
+			return nil, false
+		}
+		for j := 1; j <= k; j++ {
+			if rem[j].deg <= 0 {
+				return nil, false
+			}
+			if err := g.AddEdge(rem[0].v, rem[j].v); err != nil {
+				return nil, false
+			}
+			rem[j].deg--
+		}
+		rem[0].deg = 0
+	}
+	return g, true
+}

@@ -1,0 +1,82 @@
+package seq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphrealize/internal/graph"
+)
+
+// pruferToTree decodes a Prüfer string into its labeled tree. Used by the
+// exhaustive minimum-diameter test as an independent enumeration of all
+// labeled trees on n vertices.
+func pruferToTree(n int, pr []int) *graph.Graph {
+	g := graph.New(n)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, v := range pr {
+		deg[v]++
+	}
+	// Min-leaf selection, classic decode.
+	used := make([]bool, n)
+	for _, v := range pr {
+		leaf := -1
+		for u := 0; u < n; u++ {
+			if deg[u] == 1 && !used[u] {
+				leaf = u
+				break
+			}
+		}
+		_ = g.AddEdge(leaf, v)
+		used[leaf] = true
+		deg[leaf]--
+		deg[v]--
+	}
+	// Two vertices of degree 1 remain.
+	a, b := -1, -1
+	for u := 0; u < n; u++ {
+		if deg[u] == 1 && !used[u] {
+			if a == -1 {
+				a = u
+			} else {
+				b = u
+			}
+		}
+	}
+	_ = g.AddEdge(a, b)
+	return g
+}
+
+// degKey canonicalizes a degree sequence (sorted desc) into a map key.
+func degKey(d []int) string {
+	s := append([]int(nil), d...)
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] > s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// keyDeg inverts degKey.
+func keyDeg(k string) []int {
+	parts := strings.Split(k, ",")
+	d := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			panic(fmt.Sprintf("bad key %q", k))
+		}
+		d[i] = v
+	}
+	return d
+}

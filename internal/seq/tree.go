@@ -1,0 +1,135 @@
+package seq
+
+import (
+	"sort"
+
+	"graphrealize/internal/graph"
+)
+
+// sortDesc returns the indices of d sorted by non-increasing degree, ties
+// broken by index, together with the sorted degree values.
+func sortDesc(d []int) (order []int, sorted []int) {
+	n := len(d)
+	order = make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if d[order[a]] != d[order[b]] {
+			return d[order[a]] > d[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	sorted = make([]int, n)
+	for i, v := range order {
+		sorted[i] = d[v]
+	}
+	return order, sorted
+}
+
+// ChainTree realizes a tree sequence as Algorithm 4 does sequentially: the k
+// non-leaf vertices (sorted by non-increasing degree) form a path, and each
+// consumes its remaining degree requirement from the pool of leaves in order.
+// This produces the maximum-diameter realization among the paper's two tree
+// algorithms. Returns (nil,false) if d is not a tree sequence.
+func ChainTree(d []int) (*graph.Graph, bool) {
+	if !IsTreeSequence(d) {
+		return nil, false
+	}
+	n := len(d)
+	g := graph.New(n)
+	if n == 1 {
+		return g, true
+	}
+	order, sorted := sortDesc(d)
+	k := 0
+	for k < n && sorted[k] > 1 {
+		k++
+	}
+	if k == 0 {
+		// All degrees are 1: only n=2 is a valid tree sequence here.
+		if n != 2 {
+			return nil, false
+		}
+		_ = g.AddEdge(order[0], order[1])
+		return g, true
+	}
+	// Chain the non-leaves.
+	for i := 0; i+1 < k; i++ {
+		_ = g.AddEdge(order[i], order[i+1])
+	}
+	// Attach leaves: vertex at sorted position i needs dᵢ−2 leaves (dᵢ−1 for
+	// the two chain endpoints).
+	leaf := k
+	for i := 0; i < k; i++ {
+		need := sorted[i] - 2
+		if i == 0 || i == k-1 {
+			need = sorted[i] - 1
+		}
+		if k == 1 {
+			need = sorted[i] // single internal vertex: all neighbors are leaves
+		}
+		for j := 0; j < need; j++ {
+			if leaf >= n {
+				return nil, false
+			}
+			_ = g.AddEdge(order[i], order[leaf])
+			leaf++
+		}
+	}
+	if leaf != n {
+		return nil, false
+	}
+	return g, true
+}
+
+// GreedyTree realizes a tree sequence as the greedy tree T_G of
+// Smith–Székely–Wang (the paper's Algorithm 5, sequential form): vertices
+// sorted by non-increasing degree; the root takes the next d₁ vertices as
+// children, and each subsequent vertex xᵢ takes the next d(xᵢ)−1 unparented
+// vertices. By Lemma 15 this realization has minimum diameter among all tree
+// realizations of d. Returns (nil,false) if d is not a tree sequence.
+func GreedyTree(d []int) (*graph.Graph, bool) {
+	if !IsTreeSequence(d) {
+		return nil, false
+	}
+	n := len(d)
+	g := graph.New(n)
+	if n == 1 {
+		return g, true
+	}
+	order, sorted := sortDesc(d)
+	// next is the position of the next vertex without a parent.
+	next := 1
+	for i := 0; i < n && next < n; i++ {
+		take := sorted[i]
+		if i > 0 {
+			take-- // already attached to its parent
+		}
+		for j := 0; j < take; j++ {
+			if next >= n {
+				return nil, false
+			}
+			_ = g.AddEdge(order[i], order[next])
+			next++
+		}
+	}
+	if next != n {
+		return nil, false
+	}
+	return g, true
+}
+
+// MinTreeDiameter returns the minimum possible diameter of any tree realizing
+// d, which by Lemma 15 is the diameter of the greedy tree. Returns -1 if d
+// is not a tree sequence.
+func MinTreeDiameter(d []int) int {
+	g, ok := GreedyTree(d)
+	if !ok {
+		return -1
+	}
+	if g.N() == 1 {
+		return 0
+	}
+	return g.TreeDiameter()
+}
