@@ -1,0 +1,44 @@
+# Reproducible one-liners for the graphrealize reproduction.
+#
+#   make build   compile everything
+#   make test    tier-1 verify: build + full test suite
+#   make race    race-test the engine and the service layer
+#   make bench   full benchmark pass (benchstat-comparable output)
+#   make sweep   multi-seed realization sweep on all cores
+#   make tables  regenerate every experiment table (quick scale)
+
+GO      ?= go
+SCALE   ?= quick
+SEEDS   ?= 16
+WORKERS ?= 0
+N       ?= 256
+FAMILY  ?= powerlaw
+
+.PHONY: build test race bench sweep tables vet clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/ncc/ .
+
+# Pipe consecutive runs into benchstat to compare engine changes; the
+# delivery/barrier benchmarks track allocs/op, the batch benchmark the
+# Runner speedup over a serial loop.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+sweep:
+	$(GO) run ./cmd/degreal -n $(N) -family $(FAMILY) -seeds $(SEEDS) -workers $(WORKERS)
+
+tables:
+	$(GO) run ./cmd/benchtab -scale $(SCALE) -workers $(WORKERS)
+
+clean:
+	$(GO) clean ./...

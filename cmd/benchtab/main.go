@@ -23,7 +23,9 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. T5,F2); empty = all")
+	workers := flag.Int("workers", 0, "parallel realization jobs per sweep (0 = GOMAXPROCS)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	scale := harness.Quick
 	switch strings.ToLower(*scaleFlag) {

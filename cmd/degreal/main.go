@@ -1,11 +1,14 @@
 // Command degreal realizes a degree sequence as a distributed overlay and
-// prints the realization plus its NCC cost.
+// prints the realization plus its NCC cost. With -seeds k it runs a
+// deterministic multi-seed sweep through the concurrent batch runner and
+// reports per-seed costs plus aggregates.
 //
 // Usage:
 //
 //	degreal -seq 3,3,2,2,2,2              # explicit sequence
 //	degreal -n 64 -family regular -d 6    # generated family
 //	degreal -n 50 -family powerlaw -explicit -print-edges
+//	degreal -n 256 -seeds 16 -workers 8   # multi-seed sweep on 8 cores
 //
 // Families: regular (needs -d), random (G(n,p) degrees, -p), powerlaw,
 // starheavy, bimodal.
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -29,7 +33,9 @@ func main() {
 	family := flag.String("family", "random", "regular|random|powerlaw|starheavy|bimodal")
 	d := flag.Int("d", 4, "degree for -family regular")
 	p := flag.Float64("p", 0.2, "edge probability for -family random")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	seed := flag.Int64("seed", 1, "deterministic seed (first of the sweep)")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+	workers := flag.Int("workers", 0, "parallel jobs for the sweep (0 = GOMAXPROCS)")
 	explicit := flag.Bool("explicit", false, "convert to an explicit realization (Thm 12)")
 	envelope := flag.Bool("envelope", false, "realize an upper envelope for non-graphic input (Thm 13)")
 	oddEven := flag.Bool("oddeven", false, "use the real O(n) odd-even sort instead of the charged oracle")
@@ -45,34 +51,56 @@ func main() {
 	if *oddEven {
 		opt.Sort = graphrealize.OddEvenSort
 	}
+	kind := graphrealize.JobDegrees
+	switch {
+	case *envelope:
+		kind = graphrealize.JobUpperEnvelope
+	case *explicit:
+		kind = graphrealize.JobDegreesExplicit
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+	jobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: kind, Seq: degs, Opt: opt}, seedList)
 
 	fmt.Printf("input: n=%d Δ=%d Σd=%d graphic=%v\n",
 		len(degs), seq.MaxDegree(degs), seq.SumDegrees(degs), graphrealize.IsGraphic(degs))
 
-	var g *graphrealize.Graph
-	var stats *graphrealize.Stats
-	switch {
-	case *envelope:
-		var envl []int
-		g, envl, stats, err = graphrealize.RealizeUpperEnvelope(degs, opt)
-		if err == nil {
-			extra := 0
-			for i := range degs {
-				extra += envl[i] - clamp(degs[i], len(degs))
-			}
-			fmt.Printf("envelope: total discrepancy Σ(d'-d) = %d\n", extra)
-		}
-	case *explicit:
-		g, stats, err = graphrealize.RealizeDegreesExplicit(degs, opt)
-	default:
-		g, stats, err = graphrealize.RealizeDegrees(degs, opt)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "degreal:", err)
+	results := graphrealize.NewRunner(*workers).RealizeAll(jobs)
+	first := results[0]
+	if first.Err != nil {
+		fmt.Fprintln(os.Stderr, "degreal:", first.Err)
 		os.Exit(1)
 	}
+	if *envelope {
+		extra := 0
+		for i := range degs {
+			extra += first.Envelope[i] - clamp(degs[i], len(degs))
+		}
+		fmt.Printf("envelope: total discrepancy Σ(d'-d) = %d\n", extra)
+	}
+	g, stats := first.Graph, first.Stats
 	fmt.Printf("realized: m=%d connected=%v\n", g.M(), g.Connected())
 	fmt.Printf("cost: %s phases=%d\n", stats, stats.Phases)
+	if *seeds > 1 {
+		rounds := make([]int, 0, len(results))
+		for i, res := range results {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "degreal: seed %d: %v\n", seedList[i], res.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("seed=%-4d rounds=%-6d msgs=%-8d maxRecv=%d\n",
+				seedList[i], res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxRecv)
+			rounds = append(rounds, res.Stats.Rounds)
+		}
+		sort.Ints(rounds)
+		fmt.Printf("sweep: seeds=%d rounds min=%d median=%d max=%d\n",
+			len(rounds), rounds[0], rounds[len(rounds)/2], rounds[len(rounds)-1])
+	}
 	if *printEdges {
 		for _, e := range g.Edges() {
 			fmt.Printf("%d %d\n", e[0], e[1])

@@ -1,0 +1,3 @@
+module graphrealize
+
+go 1.24

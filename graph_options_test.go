@@ -1,0 +1,164 @@
+package graphrealize
+
+// Direct coverage for the public Graph helpers (round-tripping through
+// fromInternal/internal) and for Options normalization — behavior the facade
+// tests only exercise incidentally.
+
+import (
+	"testing"
+
+	"graphrealize/internal/graph"
+	"graphrealize/internal/ncc"
+	"graphrealize/internal/sortnet"
+)
+
+// TestGraphFromInternalRoundTrip builds a known graph (C5 plus a chord),
+// converts it through fromInternal, and checks every helper against hand
+// counts — then converts back via internal() and compares edge sets.
+func TestGraphFromInternalRoundTrip(t *testing.T) {
+	ig := graph.New(5)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}}
+	for _, e := range edges {
+		if err := ig.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("add %v: %v", e, err)
+		}
+	}
+	g := fromInternal(ig)
+	if g.N != 5 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M() != len(edges) {
+		t.Fatalf("M = %d, want %d", g.M(), len(edges))
+	}
+	wantDeg := []int{2, 3, 2, 3, 2}
+	for i, deg := range g.Degrees() {
+		if deg != wantDeg[i] {
+			t.Fatalf("degree[%d] = %d, want %d", i, deg, wantDeg[i])
+		}
+	}
+	got := g.Edges()
+	want := [][2]int{{0, 1}, {0, 4}, {1, 2}, {1, 3}, {2, 3}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("edges %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: %v, want %v (Edges must be sorted (u<v) pairs)", i, got[i], want[i])
+		}
+	}
+	if !g.Connected() || g.IsTree() {
+		t.Fatal("C5+chord is connected and not a tree")
+	}
+	if d := g.Diameter(); d != 2 {
+		t.Fatalf("diameter = %d, want 2", d)
+	}
+	// Vertex 2 is on the cycle: two edge-disjoint paths to 0; vertices 1–3
+	// share the chord plus both cycle arcs.
+	if c := g.EdgeConnectivity(0, 2); c != 2 {
+		t.Fatalf("EdgeConnectivity(0,2) = %d, want 2", c)
+	}
+	if c := g.EdgeConnectivity(1, 3); c != 3 {
+		t.Fatalf("EdgeConnectivity(1,3) = %d, want 3", c)
+	}
+	// Round-trip: internal() must reproduce the same edge set.
+	back := g.internal()
+	be := back.Edges()
+	if len(be) != len(want) {
+		t.Fatalf("round-trip edge count %d, want %d", len(be), len(want))
+	}
+	for i := range want {
+		if be[i] != want[i] {
+			t.Fatalf("round-trip edge %d: %v, want %v", i, be[i], want[i])
+		}
+	}
+}
+
+// TestGraphHelpersDisconnected covers the disconnected conventions:
+// Diameter -1, Connected false, per-component edge connectivity 0.
+func TestGraphHelpersDisconnected(t *testing.T) {
+	g, err := HavelHakimi([]int{1, 1, 1, 1}) // any realization: two disjoint edges
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Fatal("four degree-1 vertices cannot be connected")
+	}
+	if d := g.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+	// Find two vertices in different components: 0's unique neighbor is the
+	// only vertex in its component.
+	other := -1
+	for v := 1; v < 4; v++ {
+		if v != g.Adj[0][0] {
+			other = v
+			break
+		}
+	}
+	if c := g.EdgeConnectivity(0, other); c != 0 {
+		t.Fatalf("cross-component connectivity = %d, want 0", c)
+	}
+}
+
+// TestTreeDiameterMatchesDiameter checks the cheap two-BFS tree diameter
+// against the exact all-sources sweep on a realized tree.
+func TestTreeDiameterMatchesDiameter(t *testing.T) {
+	g, err := ChainTree([]int{3, 3, 2, 1, 1, 1, 1, 2}) // Σ = 14 = 2(n−1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsTree() {
+		t.Fatal("chain tree is not a tree")
+	}
+	if td, d := g.TreeDiameter(), g.Diameter(); td != d {
+		t.Fatalf("TreeDiameter %d != Diameter %d", td, d)
+	}
+}
+
+func TestOptionsNormDefaults(t *testing.T) {
+	var nilOpt *Options
+	if got := nilOpt.norm(); got != (Options{}) {
+		t.Fatalf("nil options must normalize to the zero value, got %+v", got)
+	}
+	o := &Options{Model: NCC1, Seed: 9, Strict: true, CapMul: 3, Sort: MergeSort, MaxRounds: 99}
+	got := o.norm()
+	if got != *o {
+		t.Fatalf("norm changed the options: %+v vs %+v", got, *o)
+	}
+	got.Seed = 1000
+	if o.Seed != 9 {
+		t.Fatal("norm must return a copy, not alias the caller's options")
+	}
+}
+
+func TestOptionsSimConfig(t *testing.T) {
+	o := Options{Model: NCC1, Seed: 5, Strict: true, CapMul: 2, MaxRounds: 123}
+	cfg := o.simConfig(7, []any{1, 2})
+	if cfg.N != 7 || cfg.Model != ncc.NCC1 || cfg.Seed != 5 || !cfg.Strict ||
+		cfg.CapMul != 2 || cfg.MaxRounds != 123 || len(cfg.Inputs) != 2 {
+		t.Fatalf("simConfig mapping wrong: %+v", cfg)
+	}
+	zero := Options{}
+	cfg0 := zero.simConfig(3, nil)
+	if cfg0.Model != ncc.NCC0 || cfg0.CapMul != 0 || cfg0.MaxRounds != 0 {
+		// CapMul/MaxRounds stay zero here; ncc.New applies the defaults.
+		t.Fatalf("zero options must map to zero config fields: %+v", cfg0)
+	}
+}
+
+func TestOptionsSortMethodMapping(t *testing.T) {
+	cases := []struct {
+		in   SortMethod
+		want sortnet.Method
+	}{
+		{OracleSort, sortnet.Oracle},
+		{OddEvenSort, sortnet.OddEven},
+		{MergeSort, sortnet.Merge},
+		{SortMethod(42), sortnet.Oracle}, // unknown falls back to the default
+	}
+	for _, c := range cases {
+		if got := (Options{Sort: c.in}).sortMethod(); got != c.want {
+			t.Fatalf("sortMethod(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -147,6 +147,11 @@ func (g *Graph) Edges() [][2]int {
 // Diameter returns the exact diameter (-1 if disconnected).
 func (g *Graph) Diameter() int { return g.internal().Diameter() }
 
+// TreeDiameter returns the diameter via two BFS passes — exact for trees and
+// much cheaper than Diameter's all-sources sweep. It panics if the overlay
+// is not a tree.
+func (g *Graph) TreeDiameter() int { return g.internal().TreeDiameter() }
+
 // IsTree reports whether the overlay is a tree.
 func (g *Graph) IsTree() bool { return g.internal().IsTree() }
 
@@ -288,7 +293,7 @@ func realizeDegrees(d []int, opt *Options, explicit bool) (*Graph, *Stats, error
 		return nil, nil, err
 	}
 	st := statsOf(tr)
-	if v, ok := tr.Output(tr.IDs[0], "phases"); ok {
+	if v, ok := tr.MaxOutput("phases"); ok {
 		st.Phases = int(v)
 	}
 	if tr.Unrealizable {
@@ -318,7 +323,7 @@ func RealizeUpperEnvelope(d []int, opt *Options) (*Graph, []int, *Stats, error) 
 		return nil, nil, nil, err
 	}
 	st := statsOf(tr)
-	if v, ok := tr.Output(tr.IDs[0], "phases"); ok {
+	if v, ok := tr.MaxOutput("phases"); ok {
 		st.Phases = int(v)
 	}
 	envl := make([]int, len(d))

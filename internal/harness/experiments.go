@@ -1,18 +1,17 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"graphrealize"
 	"graphrealize/internal/aggregate"
-	"graphrealize/internal/core"
 	"graphrealize/internal/gen"
-	"graphrealize/internal/graph"
 	"graphrealize/internal/ncc"
 	"graphrealize/internal/primitives"
 	"graphrealize/internal/seq"
 	"graphrealize/internal/sortnet"
-	"graphrealize/internal/trees"
 )
 
 // mustRun executes a protocol and panics on simulator errors — experiments
@@ -25,24 +24,36 @@ func mustRun(s *ncc.Sim, proto func(*ncc.Node)) *ncc.Trace {
 	return tr
 }
 
-func buildGraph(tr *ncc.Trace) *graph.Graph {
-	idx := make(map[ncc.ID]int, len(tr.IDs))
-	for i, id := range tr.IDs {
-		idx[id] = i
+// mustRealize unwraps a batch result; the experiment families are realizable
+// by construction, so any job error is a harness bug. Call sites that can
+// meaningfully report an unrealizable verdict (T5's ok column) handle
+// ErrUnrealizable before calling.
+func mustRealize(res graphrealize.Result) graphrealize.Result {
+	if res.Err != nil {
+		panic(fmt.Sprintf("harness: %s job: %v", res.Job.Kind, res.Err))
 	}
-	g := graph.New(len(tr.IDs))
-	for e := range tr.EdgeSet() {
-		_ = g.AddEdge(idx[e[0]], idx[e[1]])
-	}
-	return g
+	return res
 }
 
-func toInputs(d []int) []any {
-	in := make([]any, len(d))
-	for i, v := range d {
-		in[i] = v
+// degreesMatch reports whether the realized overlay meets the demanded
+// degree sequence exactly.
+func degreesMatch(g *graphrealize.Graph, d []int) bool {
+	got := g.Degrees()
+	if len(got) != len(d) {
+		return false
 	}
-	return in
+	for i := range d {
+		if got[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// realRounds is the protocol-executed round count: total minus the rounds
+// charged by oracle collectives.
+func realRounds(st *graphrealize.Stats) int {
+	return st.Rounds - st.ChargedRounds
 }
 
 // T1TreeConstruction measures Theorem 1 + Corollary 2: the TBFS (structure
@@ -221,23 +232,9 @@ func familyOrder() []string {
 	return []string{"regular-sqrt", "regular-16", "random-graph", "power-law", "star-heavy"}
 }
 
-func runRealize(d []int, mode core.Mode, explicit bool, seed int64) (*ncc.Trace, int) {
-	s := ncc.New(ncc.Config{N: len(d), Seed: seed, Inputs: toInputs(d)})
-	sortnet.RegisterOracle(s)
-	tr := mustRun(s, func(nd *ncc.Node) {
-		env := core.Setup(nd, sortnet.Oracle)
-		out := core.Realize(nd, env, nd.Input().(int), mode, true)
-		nd.SetOutput("phases", int64(out.Phases))
-		nd.SetOutput("realized", int64(out.Realized))
-		if out.OK && explicit {
-			core.MakeExplicit(nd, env, out.Neighbors, out.Delta)
-		}
-	})
-	phases, _ := tr.Output(tr.IDs[0], "phases")
-	return tr, int(phases)
-}
-
-// T5ImplicitRealization measures Theorem 11 + Lemma 10 across families.
+// T5ImplicitRealization measures Theorem 11 + Lemma 10 across families. The
+// per-family runs are independent, so they fan out through the shared batch
+// runner and the rows are assembled from the results in family order.
 func T5ImplicitRealization(sc Scale) *Table {
 	t := &Table{
 		ID:      "T5",
@@ -247,29 +244,43 @@ func T5ImplicitRealization(sc Scale) *Table {
 	}
 	for _, n := range sc.sizes([]int{256}, []int{256, 1024, 4096}) {
 		fams := degreeFamilies(n, int64(n))
+		jobs := make([]graphrealize.Job, 0, len(fams))
 		for _, name := range familyOrder() {
-			d := fams[name]
-			tr, phases := runRealize(d, core.Exact, false, int64(n)+7)
+			jobs = append(jobs, graphrealize.Job{
+				Kind: graphrealize.JobDegrees, Seq: fams[name],
+				Opt: &graphrealize.Options{Seed: int64(n) + 7}, Label: name,
+			})
+		}
+		for _, res := range runner().RealizeAll(jobs) {
+			d := res.Job.Seq
 			m := seq.SumDegrees(d) / 2
 			delta := seq.MaxDegree(d)
 			minB := delta
 			if sm := int(math.Sqrt(float64(m))); sm < minB {
 				minB = sm
 			}
-			ok := buildGraph(tr).DegreesMatch(d) && !tr.Unrealizable
-			real := tr.Metrics.Rounds - tr.Metrics.CollectiveRounds
-			perPhase := 0.0
-			if phases > 0 {
-				perPhase = float64(real) / float64(phases)
+			if errors.Is(res.Err, graphrealize.ErrUnrealizable) {
+				// A non-graphic family sequence is a failed row, not a crash.
+				t.AddRow(res.Job.Label, n, delta, m, minB, res.Stats.Phases,
+					res.Stats.Rounds, realRounds(res.Stats), 0.0, false)
+				continue
 			}
-			t.AddRow(name, n, delta, m, minB, phases, tr.Metrics.Rounds, real, perPhase, ok)
+			res = mustRealize(res)
+			ok := degreesMatch(res.Graph, d)
+			real := realRounds(res.Stats)
+			perPhase := 0.0
+			if res.Stats.Phases > 0 {
+				perPhase = float64(real) / float64(res.Stats.Phases)
+			}
+			t.AddRow(res.Job.Label, n, delta, m, minB, res.Stats.Phases, res.Stats.Rounds, real, perPhase, ok)
 		}
 	}
 	return t
 }
 
 // T6ExplicitRealization measures Theorem 12: the extra rounds of the
-// explicit conversion against the m/n + Δ/log n + log n shape.
+// explicit conversion against the m/n + Δ/log n + log n shape. Implicit and
+// explicit variants of every family run concurrently in one batch.
 func T6ExplicitRealization(sc Scale) *Table {
 	t := &Table{
 		ID:      "T6",
@@ -279,22 +290,32 @@ func T6ExplicitRealization(sc Scale) *Table {
 	}
 	for _, n := range sc.sizes([]int{256}, []int{256, 1024, 4096}) {
 		fams := degreeFamilies(n, int64(n))
+		var jobs []graphrealize.Job
 		for _, name := range familyOrder() {
-			d := fams[name]
-			trI, _ := runRealize(d, core.Exact, false, int64(n)+7)
-			trE, _ := runRealize(d, core.Exact, true, int64(n)+7)
+			for _, kind := range []graphrealize.JobKind{graphrealize.JobDegrees, graphrealize.JobDegreesExplicit} {
+				jobs = append(jobs, graphrealize.Job{
+					Kind: kind, Seq: fams[name],
+					Opt: &graphrealize.Options{Seed: int64(n) + 7}, Label: name,
+				})
+			}
+		}
+		results := runner().RealizeAll(jobs)
+		for i := 0; i < len(results); i += 2 {
+			resI, resE := mustRealize(results[i]), mustRealize(results[i+1])
+			d := resI.Job.Seq
 			m := seq.SumDegrees(d) / 2
 			delta := seq.MaxDegree(d)
-			capi := trE.Metrics.Capacity
+			capi := resE.Stats.Capacity
 			shape := m/n + delta/capi + ncc.CeilLog2(n)
-			t.AddRow(name, n, delta, m, trI.Metrics.Rounds, trE.Metrics.Rounds,
-				trE.Metrics.Rounds-trI.Metrics.Rounds, shape)
+			t.AddRow(resI.Job.Label, n, delta, m, resI.Stats.Rounds, resE.Stats.Rounds,
+				resE.Stats.Rounds-resI.Stats.Rounds, shape)
 		}
 	}
 	return t
 }
 
-// T7UpperEnvelope measures Theorem 13 on non-graphic inputs.
+// T7UpperEnvelope measures Theorem 13 on non-graphic inputs; all sizes run
+// as one concurrent batch.
 func T7UpperEnvelope(sc Scale) *Table {
 	t := &Table{
 		ID:      "T7",
@@ -302,29 +323,38 @@ func T7UpperEnvelope(sc Scale) *Table {
 		Claim:   "d' ≥ d everywhere and Σd' ≤ 2Σd",
 		Columns: []string{"n", "Σd", "Σd'", "ratio", "envelope ok"},
 	}
-	for _, n := range sc.sizes([]int{64, 256}, []int{64, 256, 1024}) {
-		d := gen.NonGraphic(n, int64(n))
-		tr, _ := runRealize(d, core.Envelope, false, int64(n)+9)
+	sizes := sc.sizes([]int{64, 256}, []int{64, 256, 1024})
+	jobs := make([]graphrealize.Job, 0, len(sizes))
+	for _, n := range sizes {
+		jobs = append(jobs, graphrealize.Job{
+			Kind: graphrealize.JobUpperEnvelope, Seq: gen.NonGraphic(n, int64(n)),
+			Opt: &graphrealize.Options{Seed: int64(n) + 9},
+		})
+	}
+	for _, res := range runner().RealizeAll(jobs) {
+		res = mustRealize(res)
+		d := res.Job.Seq
+		n := len(d)
 		sumD, sumDP := 0, 0
 		ok := true
-		for i, id := range tr.IDs {
-			dp, _ := tr.Output(id, "realized")
+		for i, dp := range res.Envelope {
 			want := d[i]
 			if want > n-1 {
 				want = n - 1
 			}
-			if int(dp) < want {
+			if dp < want {
 				ok = false
 			}
 			sumD += want
-			sumDP += int(dp)
+			sumDP += dp
 		}
 		t.AddRow(n, sumD, sumDP, float64(sumDP)/float64(sumD), ok)
 	}
 	return t
 }
 
-// T8TreeRealization measures Theorems 14/16 and Lemma 15.
+// T8TreeRealization measures Theorems 14/16 and Lemma 15: Algorithm 4 and
+// Algorithm 5 run concurrently for every family.
 func T8TreeRealization(sc Scale) *Table {
 	t := &Table{
 		ID:      "T8",
@@ -338,24 +368,20 @@ func T8TreeRealization(sc Scale) *Table {
 			"caterpillar": gen.CaterpillarSequence(n, n/4),
 			"star":        gen.StarSequence(n),
 		}
+		var jobs []graphrealize.Job
 		for _, name := range []string{"random", "caterpillar", "star"} {
-			d := fams[name]
-			run := func(greedy bool) (*ncc.Trace, int) {
-				s := ncc.New(ncc.Config{N: n, Seed: int64(n) * 5, Inputs: toInputs(d)})
-				sortnet.RegisterOracle(s)
-				tr := mustRun(s, func(nd *ncc.Node) {
-					env := core.Setup(nd, sortnet.Oracle)
-					if greedy {
-						trees.RealizeGreedy(nd, env, nd.Input().(int))
-					} else {
-						trees.RealizeChain(nd, env, nd.Input().(int))
-					}
+			for _, kind := range []graphrealize.JobKind{graphrealize.JobChainTree, graphrealize.JobMinDiamTree} {
+				jobs = append(jobs, graphrealize.Job{
+					Kind: kind, Seq: fams[name],
+					Opt: &graphrealize.Options{Seed: int64(n) * 5}, Label: name,
 				})
-				return tr, buildGraph(tr).TreeDiameter()
 			}
-			tr4, d4 := run(false)
-			tr5, d5 := run(true)
-			t.AddRow(name, n, tr4.Metrics.Rounds, d4, tr5.Metrics.Rounds, d5, seq.MinTreeDiameter(d))
+		}
+		results := runner().RealizeAll(jobs)
+		for i := 0; i < len(results); i += 2 {
+			res4, res5 := mustRealize(results[i]), mustRealize(results[i+1])
+			t.AddRow(res4.Job.Label, n, res4.Stats.Rounds, res4.Graph.TreeDiameter(),
+				res5.Stats.Rounds, res5.Graph.TreeDiameter(), seq.MinTreeDiameter(res4.Job.Seq))
 		}
 	}
 	return t

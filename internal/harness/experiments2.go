@@ -6,34 +6,26 @@ import (
 	"sort"
 	"strings"
 
-	"graphrealize/internal/connectivity"
-	"graphrealize/internal/core"
+	"graphrealize"
 	"graphrealize/internal/gen"
 	"graphrealize/internal/lowerbound"
 	"graphrealize/internal/ncc"
 	"graphrealize/internal/primitives"
 	"graphrealize/internal/seq"
-	"graphrealize/internal/sortnet"
 )
 
-func runConnectivity(rho []int, model ncc.Model, seed int64) *ncc.Trace {
-	s := ncc.New(ncc.Config{N: len(rho), Model: model, Seed: seed, Inputs: toInputs(rho)})
-	sortnet.RegisterOracle(s)
-	return mustRun(s, func(nd *ncc.Node) {
-		r := nd.Input().(int)
-		if nd.Model() == ncc.NCC1 {
-			connectivity.RealizeNCC1(nd, r)
-		} else {
-			env := core.Setup(nd, sortnet.Oracle)
-			connectivity.RealizeNCC0(nd, env, r)
-		}
-	})
+// connectivityJob builds one batch job for the §6 realization under the
+// given knowledge model.
+func connectivityJob(rho []int, model graphrealize.Model, seed int64) graphrealize.Job {
+	return graphrealize.Job{
+		Kind: graphrealize.JobConnectivity, Seq: rho,
+		Opt: &graphrealize.Options{Model: model, Seed: seed},
+	}
 }
 
 // sampleThresholdOK verifies Conn(u,v) ≥ min(ρu,ρv) on sampled pairs (exact
 // all-pairs is O(n²·flow); sampling keeps Full scale tractable).
-func sampleThresholdOK(tr *ncc.Trace, rho []int, samples int) bool {
-	g := buildGraph(tr)
+func sampleThresholdOK(g *graphrealize.Graph, rho []int, samples int) bool {
 	n := len(rho)
 	step := n*n/samples + 1
 	cnt := 0
@@ -63,14 +55,19 @@ func T9ConnectivityNCC1(sc Scale) *Table {
 		Claim:   "O~(1) rounds (no Δ dependence); edges ≤ 2·OPT",
 		Columns: []string{"n", "Δρ", "rounds", "rounds/log n", "edges", "LB", "edges/LB", "thresholds ok"},
 	}
-	for _, n := range sc.sizes([]int{64, 256}, []int{64, 256, 1024, 4096}) {
-		rho := gen.UniformRho(n, n/4, int64(n))
-		tr := runConnectivity(rho, ncc.NCC1, int64(n)+1)
-		g := buildGraph(tr)
+	sizes := sc.sizes([]int{64, 256}, []int{64, 256, 1024, 4096})
+	jobs := make([]graphrealize.Job, 0, len(sizes))
+	for _, n := range sizes {
+		jobs = append(jobs, connectivityJob(gen.UniformRho(n, n/4, int64(n)), graphrealize.NCC1, int64(n)+1))
+	}
+	for _, res := range runner().RealizeAll(jobs) {
+		res = mustRealize(res)
+		rho := res.Job.Seq
+		n := len(rho)
 		lb := seq.ConnectivityLowerBound(rho)
 		K := ncc.CeilLog2(n)
-		t.AddRow(n, n/4, tr.Metrics.Rounds, float64(tr.Metrics.Rounds)/float64(K),
-			g.M(), lb, float64(g.M())/float64(lb), sampleThresholdOK(tr, rho, 60))
+		t.AddRow(n, n/4, res.Stats.Rounds, float64(res.Stats.Rounds)/float64(K),
+			res.Graph.M(), lb, float64(res.Graph.M())/float64(lb), sampleThresholdOK(res.Graph, rho, 60))
 	}
 	return t
 }
@@ -83,20 +80,25 @@ func T10ConnectivityNCC0(sc Scale) *Table {
 		Claim:   "O~(Δ) rounds; edges ≤ 2·OPT; explicit storage",
 		Columns: []string{"n", "Δρ", "rounds", "real rounds", "Δ·log n", "edges", "LB", "edges/LB", "thresholds ok"},
 	}
+	var jobs []graphrealize.Job
+	var rhoMax []int
 	for _, n := range sc.sizes([]int{128}, []int{128, 512, 2048}) {
 		for _, maxRho := range []int{4, 16, 64} {
 			if maxRho >= n {
 				continue
 			}
-			rho := gen.UniformRho(n, maxRho, int64(n+maxRho))
-			tr := runConnectivity(rho, ncc.NCC0, int64(n)+2)
-			g := buildGraph(tr)
-			lb := seq.ConnectivityLowerBound(rho)
-			K := ncc.CeilLog2(n)
-			real := tr.Metrics.Rounds - tr.Metrics.CollectiveRounds
-			t.AddRow(n, maxRho, tr.Metrics.Rounds, real, maxRho*K, g.M(), lb,
-				float64(g.M())/float64(lb), sampleThresholdOK(tr, rho, 40))
+			jobs = append(jobs, connectivityJob(gen.UniformRho(n, maxRho, int64(n+maxRho)), graphrealize.NCC0, int64(n)+2))
+			rhoMax = append(rhoMax, maxRho)
 		}
+	}
+	for i, res := range runner().RealizeAll(jobs) {
+		res = mustRealize(res)
+		rho := res.Job.Seq
+		n := len(rho)
+		lb := seq.ConnectivityLowerBound(rho)
+		K := ncc.CeilLog2(n)
+		t.AddRow(n, rhoMax[i], res.Stats.Rounds, realRounds(res.Stats), rhoMax[i]*K, res.Graph.M(), lb,
+			float64(res.Graph.M())/float64(lb), sampleThresholdOK(res.Graph, rho, 40))
 	}
 	return t
 }
@@ -111,27 +113,36 @@ func T11LowerBounds(sc Scale) *Table {
 		Columns: []string{"family", "n", "Δ", "m", "floor rounds", "measured real", "ratio", "ratio/log²n"},
 		Notes:   []string{"floor: IDs that must be learned / per-round capacity; measured excludes charged sort rounds"},
 	}
+	var jobs []graphrealize.Job
 	for _, n := range sc.sizes([]int{128}, []int{128, 256, 512, 1024}) {
-		K := ncc.CeilLog2(n)
-		capi := K * 8 // DefaultCapMul
 		// D* family: k = n/2 nodes each demanding a clique among them, so
 		// m = Θ(n²) and the per-node knowledge floor is Θ(√m) = Θ(n) IDs.
-		dstar := gen.LowerBoundDStar(n, n*n/4)
-		trD, _ := runRealize(dstar, core.Exact, false, int64(n)+3)
-		realD := trD.Metrics.Rounds - trD.Metrics.CollectiveRounds
-		floorD := lowerbound.ImplicitFloorDStar(dstar, capi)
-		tight := lowerbound.NewTightness(realD, floorD)
-		t.AddRow("D*-sqrt(m)", n, seq.MaxDegree(dstar), seq.SumDegrees(dstar)/2,
-			floorD, realD, tight.Ratio, tight.Ratio/float64(K*K))
+		jobs = append(jobs, graphrealize.Job{
+			Kind: graphrealize.JobDegrees, Seq: gen.LowerBoundDStar(n, n*n/4),
+			Opt: &graphrealize.Options{Seed: int64(n) + 3}, Label: "D*-sqrt(m)",
+		})
 		// Δ-regular explicit family (Theorem 19), Δ = n/2.
-		delta := evenCap(n/2, n)
-		dreg := gen.Regular(n, delta)
-		trR, _ := runRealize(dreg, core.Exact, true, int64(n)+4)
-		realR := trR.Metrics.Rounds - trR.Metrics.CollectiveRounds
-		floorR := lowerbound.ExplicitFloor(dreg, capi)
-		tightR := lowerbound.NewTightness(realR, floorR)
-		t.AddRow("Δ-regular explicit", n, delta, seq.SumDegrees(dreg)/2,
-			floorR, realR, tightR.Ratio, tightR.Ratio/float64(K*K))
+		jobs = append(jobs, graphrealize.Job{
+			Kind: graphrealize.JobDegreesExplicit, Seq: gen.Regular(n, evenCap(n/2, n)),
+			Opt: &graphrealize.Options{Seed: int64(n) + 4}, Label: "Δ-regular explicit",
+		})
+	}
+	for _, res := range runner().RealizeAll(jobs) {
+		res = mustRealize(res)
+		d := res.Job.Seq
+		n := len(d)
+		K := ncc.CeilLog2(n)
+		capi := K * ncc.DefaultCapMul
+		real := realRounds(res.Stats)
+		var floor int
+		if res.Job.Kind == graphrealize.JobDegrees {
+			floor = lowerbound.ImplicitFloorDStar(d, capi)
+		} else {
+			floor = lowerbound.ExplicitFloor(d, capi)
+		}
+		tight := lowerbound.NewTightness(real, floor)
+		t.AddRow(res.Job.Label, n, seq.MaxDegree(d), seq.SumDegrees(d)/2,
+			floor, real, tight.Ratio, tight.Ratio/float64(K*K))
 	}
 	return t
 }

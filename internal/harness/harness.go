@@ -9,6 +9,9 @@ package harness
 import (
 	"fmt"
 	"strings"
+	"sync"
+
+	"graphrealize"
 )
 
 // Table is one experiment's output: a claim being validated, columns, and
@@ -94,6 +97,35 @@ func (s Scale) sizes(quick, full []int) []int {
 		return quick
 	}
 	return full
+}
+
+// The realization experiments (T5–T11) fan their sweeps out through a shared
+// graphrealize.Runner so multi-family/multi-n rows run on all cores. The
+// pool is created lazily; SetWorkers reconfigures it (0 = GOMAXPROCS).
+var (
+	poolMu      sync.Mutex
+	poolWorkers int
+	pool        *graphrealize.Runner
+)
+
+// SetWorkers bounds the parallelism of the experiment sweeps. Zero or
+// negative selects GOMAXPROCS. It takes effect for subsequently started
+// experiments.
+func SetWorkers(n int) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	poolWorkers = n
+	pool = nil
+}
+
+// runner returns the shared batch runner, creating it on first use.
+func runner() *graphrealize.Runner {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if pool == nil {
+		pool = graphrealize.NewRunner(poolWorkers)
+	}
+	return pool
 }
 
 // Experiment pairs an ID with its runner, for enumeration.

@@ -1,0 +1,44 @@
+package ncc
+
+import "testing"
+
+// BenchmarkDeliveryPooling drives the densest delivery workload — every node
+// sends to its successor every round — so allocs/op tracks the receive-buffer
+// pool in the delivery layer. Compare runs with benchstat to catch pooling
+// regressions.
+func BenchmarkDeliveryPooling(b *testing.B) {
+	const n, rounds = 256, 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{N: n, Seed: 1})
+		_, err := s.Run(func(nd *Node) {
+			for r := 0; r < rounds; r++ {
+				if succ := nd.InitialSucc(); succ != None {
+					nd.Send(succ, Message{Kind: 1, A: int64(r)})
+				}
+				nd.NextRound()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarrierOverhead measures the scheduler's wake/park round trip
+// with no messages in flight: n nodes spinning through empty rounds.
+func BenchmarkBarrierOverhead(b *testing.B) {
+	const n, rounds = 256, 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{N: n, Seed: 1})
+		_, err := s.Run(func(nd *Node) {
+			for r := 0; r < rounds; r++ {
+				nd.NextRound()
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package ncc
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// engine.go is the round engine: the driver loop that sits between barriers,
+// partitions checked-in nodes, invokes the delivery layer, advances rounds,
+// and decides the next active set. It relies on the Scheduler for suspension
+// mechanics and on delivery for message routing; this file owns only policy.
+
+// drive is the engine loop. Between barriers it owns every parked node's
+// state; the happens-before edges are provided by the Scheduler (check-in:
+// node → engine; release: engine → node).
+func (s *Sim) drive(panics chan error) {
+	for {
+		s.sched.AwaitAll()
+		// Collect goroutine errors observed this round.
+		for {
+			select {
+			case err := <-panics:
+				if s.firstErr == nil {
+					s.firstErr = err
+				}
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if s.firstErr != nil {
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+
+		// Partition the nodes that just checked in.
+		var collective []*Node
+		justDone := 0
+		for _, nd := range s.active {
+			switch nd.state {
+			case stateDone:
+				justDone++
+			case stateAwait:
+				s.awaiters[nd.idx] = nd
+			case stateSleep:
+				heap.Push(&s.sleepers, nd)
+			case stateCollective:
+				collective = append(collective, nd)
+			}
+		}
+		s.doneCnt += justDone
+
+		if len(collective) > 0 {
+			if !s.runCollective(collective) {
+				if s.killAll() {
+					continue
+				}
+				return
+			}
+		}
+
+		// Deliver messages sent this round.
+		sv := int(s.sendViol.Swap(0))
+		if sv > 0 {
+			s.met.SendViolations += sv
+			if s.cfg.Strict {
+				s.firstErr = fmt.Errorf("ncc: round %d: send capacity exceeded (capacity %d)", s.round, s.capacity)
+			}
+		}
+		if s.doneCnt == s.n {
+			// Every protocol returned during this round's compute slice; the
+			// final slice performs no further communication and does not
+			// start a new round. Deliver only to account for sent messages —
+			// a strict-mode capacity violation here is still a run error.
+			_, derr := s.del.route(s.active, s.awaiters, s.round, &s.met)
+			if derr != nil && s.firstErr == nil {
+				s.firstErr = derr
+			}
+			s.met.Rounds = s.round
+			return
+		}
+		woken, derr := s.del.route(s.active, s.awaiters, s.round, &s.met)
+		if derr != nil && s.firstErr == nil {
+			s.firstErr = derr
+		}
+		if s.firstErr != nil {
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+
+		// Advance the round and compute the next active set.
+		s.round++
+		if s.round > s.cfg.MaxRounds {
+			s.firstErr = fmt.Errorf("ncc: exceeded MaxRounds=%d", s.cfg.MaxRounds)
+			if s.killAll() {
+				continue
+			}
+			return
+		}
+		next := s.nextActive(woken)
+		if len(next) == 0 {
+			if s.sleepers.Len() > 0 {
+				// Fast-forward empty rounds to the earliest wake time.
+				s.round = s.sleepers[0].wakeRound
+				next = s.nextActive(nil)
+			}
+			if len(next) == 0 {
+				s.firstErr = ErrDeadlock
+				if s.killAll() {
+					continue
+				}
+				return
+			}
+		}
+		s.wakeSet(next)
+	}
+}
+
+// nextActive gathers the nodes that act in the (already advanced) round:
+// nodes that checked in Running, awaiters that received mail (woken), and
+// sleepers whose wake round has arrived.
+func (s *Sim) nextActive(woken []*Node) []*Node {
+	next := woken[:0:0]
+	for _, nd := range s.active {
+		if nd.state == stateRunning {
+			next = append(next, nd)
+		}
+	}
+	next = append(next, woken...)
+	for s.sleepers.Len() > 0 && s.sleepers[0].wakeRound <= s.round {
+		next = append(next, heap.Pop(&s.sleepers).(*Node))
+	}
+	return next
+}
+
+// wakeSet releases the given nodes into the new round in deterministic order.
+func (s *Sim) wakeSet(next []*Node) {
+	sortNodesByIdx(next)
+	s.active = append(s.active[:0], next...)
+	s.met.ActiveNodeRounds += int64(len(next))
+	s.sched.Release(s.active)
+}
+
+// runCollective validates and executes a collective barrier. All live
+// (non-done) nodes must have entered the same collective; sleeping or
+// awaiting nodes indicate a protocol bug.
+func (s *Sim) runCollective(coll []*Node) bool {
+	tag := coll[0].collTag
+	for _, nd := range coll {
+		if nd.collTag != tag {
+			s.firstErr = fmt.Errorf("ncc: mixed collectives %q and %q at round %d", tag, nd.collTag, s.round)
+			return false
+		}
+	}
+	if len(coll)+s.doneCnt != s.n || s.sleepers.Len() > 0 || len(s.awaiters) > 0 {
+		s.firstErr = fmt.Errorf("ncc: collective %q entered by %d of %d live nodes at round %d",
+			tag, len(coll), s.n-s.doneCnt, s.round)
+		return false
+	}
+	h, ok := s.collectives[tag]
+	if !ok {
+		s.firstErr = fmt.Errorf("ncc: unknown collective %q", tag)
+		return false
+	}
+	ins := make([]any, s.n)
+	for _, nd := range coll {
+		ins[nd.idx] = nd.collIn
+	}
+	outs, charge := h(s, ins)
+	if charge < 0 {
+		charge = 0
+	}
+	s.round += charge
+	s.met.CollectiveRounds += charge
+	s.met.CollectiveCalls[tag]++
+	for _, nd := range coll {
+		if outs != nil {
+			nd.collOut = outs[nd.idx]
+		}
+		nd.state = stateRunning // they resume next round
+	}
+	return true
+}
+
+// killAll wakes every parked node with the kill flag so goroutines unwind.
+// It returns true if any node was woken (the engine must then consume their
+// final check-ins) and false when everything has already terminated. The
+// seen set dedupes nodes that appear both in the just-checked-in active set
+// and in the awaiter/sleeper structures.
+func (s *Sim) killAll() bool {
+	seen := make(map[int]struct{}, s.n)
+	var victims []*Node
+	add := func(nd *Node) {
+		if nd.state == stateDone {
+			return
+		}
+		if _, dup := seen[nd.idx]; dup {
+			return
+		}
+		seen[nd.idx] = struct{}{}
+		victims = append(victims, nd)
+	}
+	for _, nd := range s.active {
+		add(nd)
+	}
+	for _, nd := range s.awaiters {
+		add(nd)
+	}
+	s.awaiters = map[int]*Node{}
+	for s.sleepers.Len() > 0 {
+		add(heap.Pop(&s.sleepers).(*Node))
+	}
+	if len(victims) == 0 {
+		s.met.Rounds = s.round
+		return false
+	}
+	for _, nd := range victims {
+		nd.killed = true
+	}
+	s.active = victims
+	s.sched.Release(s.active)
+	return true
+}

@@ -38,6 +38,7 @@ type Node struct {
 
 	outbox  []Message
 	inbox   []Message
+	retired []Message // inbox handed out at the last park; recycled next park
 	collTag string
 	collIn  any
 	collOut any
@@ -176,18 +177,25 @@ func (nd *Node) SkipRounds(k int) []Message {
 	return nd.park(stateSleep, nd.sim.round+k)
 }
 
-// park is the single barrier entry point.
+// park is the single barrier entry point. The returned inbox slice is owned
+// by the delivery layer's buffer pool and stays valid only until this node's
+// next barrier call (NextRound, AwaitMessage, SkipRounds, or Collective);
+// protocols that need messages longer must copy them out.
 func (nd *Node) park(st nodeState, wakeRound int) []Message {
+	if nd.retired != nil {
+		nd.sim.del.recycle(nd.retired)
+		nd.retired = nil
+	}
 	nd.state = st
 	nd.wakeRound = wakeRound
-	nd.sim.checkin()
-	<-nd.wake
+	nd.sim.sched.Park(nd)
 	if nd.killed {
 		panic(killedPanic{})
 	}
 	nd.sentThisRound = 0
 	in := nd.inbox
 	nd.inbox = nil
+	nd.retired = in
 	if nd.known != nil {
 		for i := range in {
 			nd.known[in[i].Src] = struct{}{}

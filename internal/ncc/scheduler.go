@@ -1,0 +1,92 @@
+package ncc
+
+import "sync/atomic"
+
+// Scheduler owns the round barrier and the node wake/park lifecycle: it
+// launches one worker per node, collects their barrier check-ins, and
+// releases the next round's active set. The engine (engine.go) decides *which*
+// nodes run each round; the scheduler decides *how* they are suspended and
+// resumed. Splitting the two keeps the round semantics independent of the
+// concurrency mechanism, so alternative drivers (e.g. a fiber/continuation
+// scheduler that avoids goroutine parking entirely) can slot in without
+// touching delivery or protocol code.
+//
+// The driver-side methods (Spawn, AwaitAll, Release) are called only from the
+// engine goroutine; the node-side methods (Park, Depart) only from node
+// worker goroutines. The happens-before edges a correct implementation must
+// provide are: every write a node makes before Park/Depart is visible to the
+// engine after AwaitAll returns, and every write the engine makes before
+// Release is visible to the released node when Park returns.
+type Scheduler interface {
+	// Spawn starts one worker per node running body and marks all of them
+	// active; the engine must observe their first check-in via AwaitAll.
+	Spawn(nodes []*Node, body func(*Node))
+	// AwaitAll blocks until every node released into the current round has
+	// parked (via Park) or departed (via Depart).
+	AwaitAll()
+	// Release resumes the given nodes for one round. The engine passes the
+	// set already sorted in deterministic (Gk index) order.
+	Release(nodes []*Node)
+	// Park is the node-side barrier entry: check in and block until the
+	// engine releases this node again.
+	Park(nd *Node)
+	// Depart is a node's final check-in, made when its protocol function
+	// returns (or unwinds); the node never blocks again.
+	Depart(nd *Node)
+}
+
+// barrierScheduler is the goroutine-barrier implementation: one goroutine per
+// node, a shared countdown of outstanding check-ins, and a one-slot channel
+// that hands control to the engine when the countdown hits zero. Each node
+// blocks on its own one-slot wake channel while parked.
+type barrierScheduler struct {
+	pending atomic.Int64
+	allIn   chan struct{}
+}
+
+func newBarrierScheduler() *barrierScheduler {
+	return &barrierScheduler{allIn: make(chan struct{}, 1)}
+}
+
+func (b *barrierScheduler) Spawn(nodes []*Node, body func(*Node)) {
+	b.pending.Store(int64(len(nodes)))
+	for _, nd := range nodes {
+		go body(nd)
+	}
+}
+
+func (b *barrierScheduler) AwaitAll() { <-b.allIn }
+
+func (b *barrierScheduler) Release(nodes []*Node) {
+	b.pending.Store(int64(len(nodes)))
+	for _, nd := range nodes {
+		nd.wake <- struct{}{}
+	}
+}
+
+// checkin is called by a node goroutine after it has written its parked
+// state; the final check-in of a round hands control to the engine.
+func (b *barrierScheduler) checkin() {
+	if b.pending.Add(-1) == 0 {
+		b.allIn <- struct{}{}
+	}
+}
+
+func (b *barrierScheduler) Park(nd *Node) {
+	b.checkin()
+	<-nd.wake
+}
+
+func (b *barrierScheduler) Depart(nd *Node) {
+	b.checkin()
+}
+
+// sleepHeap orders sleeping nodes by wake round; the engine uses it to
+// fast-forward rounds in which every node sleeps.
+type sleepHeap []*Node
+
+func (h sleepHeap) Len() int           { return len(h) }
+func (h sleepHeap) Less(i, j int) bool { return h[i].wakeRound < h[j].wakeRound }
+func (h sleepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sleepHeap) Push(x any)        { *h = append(*h, x.(*Node)) }
+func (h *sleepHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }

@@ -1,7 +1,6 @@
 package ncc
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +8,11 @@ import (
 	"sort"
 	"sync/atomic"
 )
+
+// sim.go is the engine's front door: configuration, instance construction,
+// and the Run entry point. The round loop lives in engine.go, suspension
+// mechanics in scheduler.go, message routing in delivery.go, and result
+// assembly in trace.go.
 
 // Config parameterizes a simulation.
 type Config struct {
@@ -75,18 +79,18 @@ type Sim struct {
 
 	collectives map[string]CollectiveHandler
 
-	// driver state
+	// Layered machinery: sched owns the barrier, del the message routing.
+	sched Scheduler
+	del   *delivery
+
+	// engine state (engine.go)
 	round    int
-	pending  atomic.Int64
-	allIn    chan struct{}
-	active   []*Node // nodes woken for the current round (checked in when allIn fires)
+	active   []*Node // nodes woken for the current round
 	awaiters map[int]*Node
 	sleepers sleepHeap
 	doneCnt  int
 
 	sendViol atomic.Int64
-	recvCnt  []int // per-node receive count, current round
-	touched  []int // scratch: indices with nonzero recvCnt this round
 
 	met      Metrics
 	firstErr error
@@ -114,9 +118,8 @@ func New(cfg Config) *Sim {
 		capacity:    capacity,
 		index:       make(map[ID]int, n),
 		collectives: make(map[string]CollectiveHandler),
-		allIn:       make(chan struct{}, 1),
+		sched:       newBarrierScheduler(),
 		awaiters:    make(map[int]*Node),
-		recvCnt:     make([]int, n),
 	}
 	s.assignIDs()
 	s.nodes = make([]*Node, n)
@@ -140,6 +143,7 @@ func New(cfg Config) *Sim {
 		}
 		s.nodes[i] = nd
 	}
+	s.del = newDelivery(s.index, s.nodes, capacity, cfg.Strict)
 	s.met = Metrics{N: n, Capacity: capacity, CollectiveCalls: make(map[string]int)}
 	return s
 }
@@ -196,14 +200,6 @@ func (s *Sim) N() int { return s.n }
 // Capacity returns the per-node per-round message budget.
 func (s *Sim) Capacity() int { return s.capacity }
 
-// checkin is called by a node goroutine after it has written its parked
-// state; the final check-in of a round hands control to the driver.
-func (s *Sim) checkin() {
-	if s.pending.Add(-1) == 0 {
-		s.allIn <- struct{}{}
-	}
-}
-
 func (s *Sim) noteSendViolation(nd *Node) {
 	s.sendViol.Add(1)
 }
@@ -214,322 +210,31 @@ func (s *Sim) noteSendViolation(nd *Node) {
 func (s *Sim) Run(proto func(*Node)) (*Trace, error) {
 	panics := make(chan error, s.n)
 	s.active = append(s.active[:0], s.nodes...)
-	s.pending.Store(int64(s.n))
-	for _, nd := range s.nodes {
-		go func(nd *Node) {
-			defer func() {
-				if r := recover(); r != nil {
-					switch v := r.(type) {
-					case killedPanic:
-						// intentional unwind
-					case protoError:
-						panics <- v.err
-					default:
-						panics <- fmt.Errorf("ncc: node %d panicked: %v\n%s", nd.id, r, debug.Stack())
-					}
+	s.sched.Spawn(s.nodes, func(nd *Node) {
+		defer func() {
+			if r := recover(); r != nil {
+				switch v := r.(type) {
+				case killedPanic:
+					// intentional unwind
+				case protoError:
+					panics <- v.err
+				default:
+					panics <- fmt.Errorf("ncc: node %d panicked: %v\n%s", nd.id, r, debug.Stack())
 				}
-				nd.state = stateDone
-				s.checkin()
-			}()
-			proto(nd)
-		}(nd)
-	}
+			}
+			nd.state = stateDone
+			s.sched.Depart(nd)
+		}()
+		proto(nd)
+	})
 	s.drive(panics)
 	return s.buildTrace(), s.firstErr
 }
 
-// drive is the barrier driver loop. Between barriers it owns every parked
-// node's state; the happens-before edges are the checkin channel send (node →
-// driver) and the wake channel send (driver → node).
-func (s *Sim) drive(panics chan error) {
-	for {
-		<-s.allIn
-		// Collect goroutine errors observed this round.
-		for {
-			select {
-			case err := <-panics:
-				if s.firstErr == nil {
-					s.firstErr = err
-				}
-			default:
-				goto drained
-			}
-		}
-	drained:
-		if s.firstErr != nil {
-			if s.killAll() {
-				continue
-			}
-			return
-		}
-
-		// Partition the nodes that just checked in.
-		var collective []*Node
-		justDone := 0
-		for _, nd := range s.active {
-			switch nd.state {
-			case stateDone:
-				justDone++
-			case stateAwait:
-				s.awaiters[nd.idx] = nd
-			case stateSleep:
-				heap.Push(&s.sleepers, nd)
-			case stateCollective:
-				collective = append(collective, nd)
-			}
-		}
-		s.doneCnt += justDone
-
-		if len(collective) > 0 {
-			if !s.runCollective(collective) {
-				if s.killAll() {
-					continue
-				}
-				return
-			}
-		}
-
-		// Deliver messages sent this round.
-		sv := int(s.sendViol.Swap(0))
-		if sv > 0 {
-			s.met.SendViolations += sv
-			if s.cfg.Strict {
-				s.firstErr = fmt.Errorf("ncc: round %d: send capacity exceeded (capacity %d)", s.round, s.capacity)
-			}
-		}
-		if s.doneCnt == s.n {
-			// Every protocol returned during this round's compute slice; the
-			// final slice performs no further communication and does not
-			// start a new round. Deliver only to account for sent messages.
-			s.deliver()
-			s.met.Rounds = s.round
-			return
-		}
-		woken := s.deliver()
-		if s.firstErr != nil {
-			if s.killAll() {
-				continue
-			}
-			return
-		}
-
-		// Advance the round and compute the next active set.
-		s.round++
-		if s.round > s.cfg.MaxRounds {
-			s.firstErr = fmt.Errorf("ncc: exceeded MaxRounds=%d", s.cfg.MaxRounds)
-			if s.killAll() {
-				continue
-			}
-			return
-		}
-		next := s.nextActive(woken)
-		if len(next) == 0 {
-			if s.sleepers.Len() > 0 {
-				// Fast-forward empty rounds to the earliest wake time.
-				s.round = s.sleepers[0].wakeRound
-				next = s.nextActive(nil)
-			}
-			if len(next) == 0 {
-				s.firstErr = ErrDeadlock
-				if s.killAll() {
-					continue
-				}
-				return
-			}
-		}
-		s.wakeSet(next)
-	}
+// sortNodesByIdx orders a wake set deterministically by Gk index.
+func sortNodesByIdx(nodes []*Node) {
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].idx < nodes[j].idx })
 }
-
-// nextActive gathers the nodes that act in the (already advanced) round:
-// nodes that checked in Running, awaiters that received mail (woken), and
-// sleepers whose wake round has arrived.
-func (s *Sim) nextActive(woken []*Node) []*Node {
-	next := woken[:0:0]
-	for _, nd := range s.active {
-		if nd.state == stateRunning {
-			next = append(next, nd)
-		}
-	}
-	next = append(next, woken...)
-	for s.sleepers.Len() > 0 && s.sleepers[0].wakeRound <= s.round {
-		next = append(next, heap.Pop(&s.sleepers).(*Node))
-	}
-	return next
-}
-
-// wakeSet releases the given nodes into the new round in deterministic order.
-func (s *Sim) wakeSet(next []*Node) {
-	sort.Slice(next, func(i, j int) bool { return next[i].idx < next[j].idx })
-	s.active = append(s.active[:0], next...)
-	s.met.ActiveNodeRounds += int64(len(next))
-	s.pending.Store(int64(len(next)))
-	for _, nd := range next {
-		nd.wake <- struct{}{}
-	}
-}
-
-// deliver routes every active node's outbox, enforcing receive capacity, and
-// returns the awaiters that received mail. Inbox order is deterministic:
-// senders are processed in Gk-index order (active is sorted) and each outbox
-// in send order.
-func (s *Sim) deliver() []*Node {
-	var woken []*Node
-	touched := s.touched[:0]
-	maxSent := 0
-	for _, nd := range s.active {
-		if len(nd.outbox) > maxSent {
-			maxSent = len(nd.outbox)
-		}
-		for i := range nd.outbox {
-			m := nd.outbox[i]
-			dsti, ok := s.index[m.dst]
-			if !ok {
-				continue // unreachable: Send validated
-			}
-			dst := s.nodes[dsti]
-			if s.recvCnt[dsti] == 0 {
-				touched = append(touched, dsti)
-			}
-			s.recvCnt[dsti]++
-			dst.inbox = append(dst.inbox, m)
-			s.met.Messages++
-			if aw, isAw := s.awaiters[dsti]; isAw {
-				delete(s.awaiters, dsti)
-				woken = append(woken, aw)
-			}
-		}
-		nd.outbox = nd.outbox[:0]
-	}
-	if maxSent > s.met.MaxSentPerRound {
-		s.met.MaxSentPerRound = maxSent
-	}
-	for _, i := range touched {
-		c := s.recvCnt[i]
-		if c > s.met.MaxRecvPerRound {
-			s.met.MaxRecvPerRound = c
-		}
-		if c > s.capacity {
-			s.met.RecvViolations++
-			if s.cfg.Strict && s.firstErr == nil {
-				s.firstErr = fmt.Errorf("ncc: round %d: node %d received %d messages (capacity %d)",
-					s.round, s.nodes[i].id, c, s.capacity)
-			}
-		}
-		s.recvCnt[i] = 0
-	}
-	s.touched = touched
-	return woken
-}
-
-// runCollective validates and executes a collective barrier. All live
-// (non-done) nodes must have entered the same collective; sleeping or
-// awaiting nodes indicate a protocol bug.
-func (s *Sim) runCollective(coll []*Node) bool {
-	tag := coll[0].collTag
-	for _, nd := range coll {
-		if nd.collTag != tag {
-			s.firstErr = fmt.Errorf("ncc: mixed collectives %q and %q at round %d", tag, nd.collTag, s.round)
-			return false
-		}
-	}
-	if len(coll)+s.doneCnt != s.n || s.sleepers.Len() > 0 || len(s.awaiters) > 0 {
-		s.firstErr = fmt.Errorf("ncc: collective %q entered by %d of %d live nodes at round %d",
-			tag, len(coll), s.n-s.doneCnt, s.round)
-		return false
-	}
-	h, ok := s.collectives[tag]
-	if !ok {
-		s.firstErr = fmt.Errorf("ncc: unknown collective %q", tag)
-		return false
-	}
-	ins := make([]any, s.n)
-	for _, nd := range coll {
-		ins[nd.idx] = nd.collIn
-	}
-	outs, charge := h(s, ins)
-	if charge < 0 {
-		charge = 0
-	}
-	s.round += charge
-	s.met.CollectiveRounds += charge
-	s.met.CollectiveCalls[tag]++
-	for _, nd := range coll {
-		if outs != nil {
-			nd.collOut = outs[nd.idx]
-		}
-		nd.state = stateRunning // they resume next round
-	}
-	return true
-}
-
-// killAll wakes every parked node with the kill flag so goroutines unwind.
-// It returns true if any node was woken (the driver must then consume their
-// final check-ins) and false when everything has already terminated. The
-// seen set dedupes nodes that appear both in the just-checked-in active set
-// and in the awaiter/sleeper structures.
-func (s *Sim) killAll() bool {
-	seen := make(map[int]struct{}, s.n)
-	var victims []*Node
-	add := func(nd *Node) {
-		if nd.state == stateDone {
-			return
-		}
-		if _, dup := seen[nd.idx]; dup {
-			return
-		}
-		seen[nd.idx] = struct{}{}
-		victims = append(victims, nd)
-	}
-	for _, nd := range s.active {
-		add(nd)
-	}
-	for _, nd := range s.awaiters {
-		add(nd)
-	}
-	s.awaiters = map[int]*Node{}
-	for s.sleepers.Len() > 0 {
-		add(heap.Pop(&s.sleepers).(*Node))
-	}
-	if len(victims) == 0 {
-		s.met.Rounds = s.round
-		return false
-	}
-	for _, nd := range victims {
-		nd.killed = true
-	}
-	s.pending.Store(int64(len(victims)))
-	s.active = victims
-	for _, nd := range victims {
-		nd.wake <- struct{}{}
-	}
-	return true
-}
-
-func (s *Sim) buildTrace() *Trace {
-	s.met.Rounds = s.round
-	t := &Trace{
-		Metrics: s.met,
-		IDs:     s.ids,
-		Nodes:   make(map[ID]*NodeResult, s.n),
-	}
-	for _, nd := range s.nodes {
-		t.Nodes[nd.id] = &NodeResult{ID: nd.id, Neighbors: nd.neighbors, Outputs: nd.outputs}
-		if nd.unrealizable {
-			t.Unrealizable = true
-		}
-	}
-	return t
-}
-
-// sleepHeap orders sleeping nodes by wake round.
-type sleepHeap []*Node
-
-func (h sleepHeap) Len() int           { return len(h) }
-func (h sleepHeap) Less(i, j int) bool { return h[i].wakeRound < h[j].wakeRound }
-func (h sleepHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *sleepHeap) Push(x any)        { *h = append(*h, x.(*Node)) }
-func (h *sleepHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
 
 // mix64 is a splitmix64-style mixer for deterministic seed derivation.
 func mix64(a, b int64) int64 {

@@ -625,3 +625,27 @@ func TestMaxSentTracksBursts(t *testing.T) {
 		t.Fatalf("burst metrics: %+v", tr.Metrics)
 	}
 }
+
+// TestStrictRecvViolationInFinalRound pins the strict-mode contract on the
+// engine's early-exit path: when every protocol returns in the same compute
+// slice, a receive-capacity violation in that final delivery must still fail
+// the run (regression guard for the engine/delivery split).
+func TestStrictRecvViolationInFinalRound(t *testing.T) {
+	s := New(Config{N: 3, Model: NCC1, Seed: 3, CapMul: 1, Strict: true})
+	target := s.IDs()[0]
+	tr, err := s.Run(func(nd *Node) {
+		if nd.ID() != target {
+			// Two senders deliver 2 messages each: 4 > capacity 2 at the
+			// target, while each sender stays within its send budget.
+			nd.Send(target, Message{Kind: kindData})
+			nd.Send(target, Message{Kind: kindData})
+		}
+		// No NextRound: all protocols finish in the initial compute slice.
+	})
+	if err == nil {
+		t.Fatalf("strict run must fail on final-round receive violation; metrics: %+v", tr.Metrics)
+	}
+	if tr.Metrics.RecvViolations == 0 {
+		t.Fatalf("violation not recorded: %+v", tr.Metrics)
+	}
+}

@@ -1,0 +1,287 @@
+package graphrealize
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// runner.go is the batch service layer on top of the facade: a worker pool
+// that runs many independent realizations concurrently with bounded
+// parallelism, plus an LRU cache of completed results. Each simulation
+// already uses one goroutine per simulated node, but a single run spends
+// most of its wall clock blocked on the round barrier; running independent
+// jobs side by side is what actually saturates the hardware, which is why
+// sweeps (multi-seed, multi-n, multi-family) should go through a Runner
+// rather than a serial loop.
+
+// JobKind selects which realization entry point a Job invokes.
+type JobKind int
+
+const (
+	// JobDegrees runs RealizeDegrees (§4.1, Theorem 11).
+	JobDegrees JobKind = iota
+	// JobDegreesExplicit runs RealizeDegreesExplicit (§4.2, Theorem 12).
+	JobDegreesExplicit
+	// JobUpperEnvelope runs RealizeUpperEnvelope (§4.3, Theorem 13).
+	JobUpperEnvelope
+	// JobChainTree runs RealizeTree (§5, Theorem 14).
+	JobChainTree
+	// JobMinDiamTree runs RealizeMinDiameterTree (§5, Theorem 16).
+	JobMinDiamTree
+	// JobConnectivity runs RealizeConnectivity (§6, Theorems 17/18).
+	JobConnectivity
+)
+
+// String returns a stable name for the kind (used in labels and cache keys).
+func (k JobKind) String() string {
+	switch k {
+	case JobDegrees:
+		return "degrees"
+	case JobDegreesExplicit:
+		return "degrees-explicit"
+	case JobUpperEnvelope:
+		return "upper-envelope"
+	case JobChainTree:
+		return "chain-tree"
+	case JobMinDiamTree:
+		return "min-diam-tree"
+	case JobConnectivity:
+		return "connectivity"
+	default:
+		return fmt.Sprintf("JobKind(%d)", int(k))
+	}
+}
+
+// Job is one independent realization request. Seq is the degree (or ρ)
+// sequence; Opt follows the same nil-means-default convention as the facade
+// entry points. Label is an optional caller tag carried through to the
+// Result untouched.
+type Job struct {
+	Kind  JobKind
+	Seq   []int
+	Opt   *Options
+	Label string
+}
+
+// Result is the outcome of one Job. Envelope is non-nil only for
+// JobUpperEnvelope. Cached reports that the result was served from the
+// Runner's cache; cached Graph/Stats/Envelope values are shared between all
+// requesters of the same key and must be treated as read-only.
+type Result struct {
+	Job      Job
+	Graph    *Graph
+	Envelope []int
+	Stats    *Stats
+	Err      error
+	Cached   bool
+}
+
+// Runner executes Jobs on a bounded worker pool with an LRU result cache.
+// A Runner is safe for concurrent use and needs no shutdown: an idle Runner
+// holds no goroutines.
+type Runner struct {
+	sem   chan struct{}
+	cache *resultCache
+}
+
+// DefaultCacheSize is the number of distinct (kind, sequence, options)
+// results a Runner retains.
+const DefaultCacheSize = 256
+
+// NewRunner creates a Runner that executes at most workers jobs at once.
+// workers ≤ 0 selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		sem:   make(chan struct{}, workers),
+		cache: newResultCache(DefaultCacheSize),
+	}
+}
+
+// Submit enqueues one job and returns a channel that receives its Result
+// exactly once. Submission never blocks; execution waits for a free worker
+// slot.
+func (r *Runner) Submit(j Job) <-chan Result {
+	out := make(chan Result, 1)
+	go func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		out <- r.run(j)
+	}()
+	return out
+}
+
+// RealizeAll runs all jobs with the Runner's bounded parallelism and returns
+// the results in job order. Every simulation is seeded only by its own
+// Options, so results are independent of scheduling and worker count.
+func (r *Runner) RealizeAll(jobs []Job) []Result {
+	chans := make([]<-chan Result, len(jobs))
+	for i, j := range jobs {
+		chans[i] = r.Submit(j)
+	}
+	out := make([]Result, len(jobs))
+	for i, c := range chans {
+		out[i] = <-c
+	}
+	return out
+}
+
+// SweepSeeds expands a base job into one job per seed, overriding only
+// Options.Seed. It is the standard way to build a deterministic multi-seed
+// sweep for RealizeAll.
+func SweepSeeds(base Job, seeds []int64) []Job {
+	jobs := make([]Job, len(seeds))
+	for i, seed := range seeds {
+		opt := base.Opt.norm()
+		opt.Seed = seed
+		j := base
+		j.Opt = &opt
+		jobs[i] = j
+	}
+	return jobs
+}
+
+func (r *Runner) run(j Job) Result {
+	key := j.cacheKey()
+	if res, hit := r.cache.get(key); hit {
+		res.Job = j
+		res.Cached = true
+		return res
+	}
+	res := executeJob(j)
+	r.cache.put(key, res)
+	return res
+}
+
+// executeJob dispatches a job to the facade entry point for its kind.
+func executeJob(j Job) Result {
+	res := Result{Job: j}
+	switch j.Kind {
+	case JobDegrees:
+		res.Graph, res.Stats, res.Err = RealizeDegrees(j.Seq, j.Opt)
+	case JobDegreesExplicit:
+		res.Graph, res.Stats, res.Err = RealizeDegreesExplicit(j.Seq, j.Opt)
+	case JobUpperEnvelope:
+		res.Graph, res.Envelope, res.Stats, res.Err = RealizeUpperEnvelope(j.Seq, j.Opt)
+	case JobChainTree:
+		res.Graph, res.Stats, res.Err = RealizeTree(j.Seq, j.Opt)
+	case JobMinDiamTree:
+		res.Graph, res.Stats, res.Err = RealizeMinDiameterTree(j.Seq, j.Opt)
+	case JobConnectivity:
+		res.Graph, res.Stats, res.Err = RealizeConnectivity(j.Seq, j.Opt)
+	default:
+		res.Err = fmt.Errorf("graphrealize: unknown JobKind %d", int(j.Kind))
+	}
+	return res
+}
+
+// cacheKey identifies a job's deterministic result: the kind, the sequence
+// (compacted into a collision-free byte string), and the full normalized
+// Options value. Runs are deterministic for fixed options, so equal keys
+// imply equal results; varint-style delta coding keeps typical keys short.
+type cacheKey struct {
+	kind JobKind
+	seq  string
+	opt  Options
+}
+
+func (j Job) cacheKey() cacheKey {
+	buf := make([]byte, 0, 2*len(j.Seq))
+	for _, v := range j.Seq {
+		u := uint64(v)<<1 ^ uint64(int64(v)>>63) // zig-zag for the odd negative input
+		for u >= 0x80 {
+			buf = append(buf, byte(u)|0x80)
+			u >>= 7
+		}
+		buf = append(buf, byte(u))
+	}
+	return cacheKey{
+		kind: j.Kind,
+		seq:  string(buf),
+		opt:  j.Opt.norm(),
+	}
+}
+
+// resultCache is a small mutex-guarded LRU keyed by cacheKey.
+type resultCache struct {
+	mu    sync.Mutex
+	limit int
+	m     map[cacheKey]*cacheEntry
+	head  *cacheEntry // most recently used
+	tail  *cacheEntry // least recently used
+}
+
+type cacheEntry struct {
+	key        cacheKey
+	res        Result
+	prev, next *cacheEntry
+}
+
+func newResultCache(limit int) *resultCache {
+	return &resultCache{limit: limit, m: make(map[cacheKey]*cacheEntry, limit)}
+}
+
+func (c *resultCache) get(k cacheKey) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		return Result{}, false
+	}
+	c.moveToFront(e)
+	return e.res, true
+}
+
+func (c *resultCache) put(k cacheKey, res Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		e.res = res
+		c.moveToFront(e)
+		return
+	}
+	e := &cacheEntry{key: k, res: res}
+	c.m[k] = e
+	c.pushFront(e)
+	if len(c.m) > c.limit {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+}
+
+func (c *resultCache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *resultCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *resultCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,163 @@
+package graphrealize
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunnerMatchesSequential(t *testing.T) {
+	seqs := [][]int{
+		{3, 3, 2, 2, 2, 2},
+		{2, 2, 2, 2},
+		{4, 3, 3, 2, 2, 2, 2, 2},
+		{1, 1},
+	}
+	jobs := make([]Job, 0, len(seqs))
+	for i, d := range seqs {
+		jobs = append(jobs, Job{Kind: JobDegrees, Seq: d, Opt: &Options{Seed: int64(i)}})
+	}
+	r := NewRunner(4)
+	results := r.RealizeAll(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		g, st, err := RealizeDegrees(seqs[i], jobs[i].Opt)
+		if (err == nil) != (res.Err == nil) {
+			t.Fatalf("job %d: err %v vs sequential %v", i, res.Err, err)
+		}
+		if res.Err != nil {
+			continue
+		}
+		if res.Stats.Rounds != st.Rounds || res.Stats.Messages != st.Messages {
+			t.Fatalf("job %d: stats differ from sequential run", i)
+		}
+		re, se := res.Graph.Edges(), g.Edges()
+		if len(re) != len(se) {
+			t.Fatalf("job %d: edge counts differ", i)
+		}
+		for k := range re {
+			if re[k] != se[k] {
+				t.Fatalf("job %d: edges differ", i)
+			}
+		}
+	}
+}
+
+func TestRunnerCacheHitsAndLabels(t *testing.T) {
+	r := NewRunner(2)
+	j := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 7}, Label: "first"}
+	res1 := <-r.Submit(j)
+	if res1.Err != nil {
+		t.Fatalf("first run: %v", res1.Err)
+	}
+	if res1.Cached {
+		t.Fatal("first run must not be cached")
+	}
+	j.Label = "second"
+	res2 := <-r.Submit(j)
+	if !res2.Cached {
+		t.Fatal("identical resubmission must hit the cache")
+	}
+	if res2.Job.Label != "second" {
+		t.Fatalf("cached result must carry the new job's label, got %q", res2.Job.Label)
+	}
+	if res2.Stats.Rounds != res1.Stats.Rounds {
+		t.Fatal("cached stats differ")
+	}
+	// A different seed is a different key.
+	j.Opt = &Options{Seed: 8}
+	if res3 := <-r.Submit(j); res3.Cached {
+		t.Fatal("different options must miss the cache")
+	}
+	// A permuted sequence is a different key even with equal sums.
+	j2 := Job{Kind: JobDegrees, Seq: []int{2, 2, 1, 1}, Opt: &Options{Seed: 7}}
+	j3 := Job{Kind: JobDegrees, Seq: []int{1, 2, 2, 1}, Opt: &Options{Seed: 7}}
+	<-r.Submit(j2)
+	if res := <-r.Submit(j3); res.Cached {
+		t.Fatal("permuted sequence must miss the cache")
+	}
+}
+
+func TestRunnerUnrealizableAndBadKinds(t *testing.T) {
+	r := NewRunner(2)
+	res := <-r.Submit(Job{Kind: JobDegrees, Seq: []int{3, 3, 1, 1}})
+	if !errors.Is(res.Err, ErrUnrealizable) {
+		t.Fatalf("want ErrUnrealizable, got %v", res.Err)
+	}
+	// Unrealizable results are deterministic too, so they are cacheable.
+	if res2 := <-r.Submit(Job{Kind: JobDegrees, Seq: []int{3, 3, 1, 1}}); !res2.Cached || !errors.Is(res2.Err, ErrUnrealizable) {
+		t.Fatalf("cached unrealizable: cached=%v err=%v", res2.Cached, res2.Err)
+	}
+	if res := <-r.Submit(Job{Kind: JobKind(99), Seq: []int{1, 1}}); res.Err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestRunnerAllKinds(t *testing.T) {
+	r := NewRunner(0) // GOMAXPROCS default
+	jobs := []Job{
+		{Kind: JobDegrees, Seq: []int{3, 3, 2, 2, 2, 2}},
+		{Kind: JobDegreesExplicit, Seq: []int{2, 2, 2, 2}},
+		{Kind: JobUpperEnvelope, Seq: []int{3, 3, 1, 1}},
+		{Kind: JobChainTree, Seq: []int{3, 3, 2, 1, 1, 1, 1, 2}},
+		{Kind: JobMinDiamTree, Seq: []int{3, 3, 2, 1, 1, 1, 1, 2}},
+		{Kind: JobConnectivity, Seq: []int{2, 2, 1, 1, 1, 1}},
+	}
+	for i, res := range r.RealizeAll(jobs) {
+		if res.Err != nil {
+			t.Fatalf("kind %v: %v", jobs[i].Kind, res.Err)
+		}
+		if res.Graph == nil || res.Stats == nil {
+			t.Fatalf("kind %v: missing graph or stats", jobs[i].Kind)
+		}
+		if jobs[i].Kind == JobUpperEnvelope && res.Envelope == nil {
+			t.Fatal("envelope job must return the envelope")
+		}
+	}
+}
+
+func TestSweepSeedsDeterminism(t *testing.T) {
+	base := Job{Kind: JobDegrees, Seq: []int{3, 3, 2, 2, 2, 2}, Opt: &Options{Strict: true}}
+	seeds := []int64{1, 2, 3, 4, 5}
+	jobs := SweepSeeds(base, seeds)
+	if len(jobs) != len(seeds) {
+		t.Fatalf("want %d jobs", len(seeds))
+	}
+	for i, j := range jobs {
+		if j.Opt.Seed != seeds[i] || !j.Opt.Strict {
+			t.Fatalf("job %d: options not derived correctly: %+v", i, j.Opt)
+		}
+	}
+	if base.Opt.Seed != 0 {
+		t.Fatal("SweepSeeds must not mutate the base options")
+	}
+	a := NewRunner(1).RealizeAll(jobs)
+	b := NewRunner(8).RealizeAll(jobs)
+	for i := range a {
+		if a[i].Stats.Rounds != b[i].Stats.Rounds || a[i].Stats.Messages != b[i].Stats.Messages {
+			t.Fatalf("seed %d: results depend on worker count", seeds[i])
+		}
+	}
+}
+
+func TestRunnerCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	k := func(seed int64) cacheKey {
+		return Job{Kind: JobDegrees, Seq: []int{1, 1}, Opt: &Options{Seed: seed}}.cacheKey()
+	}
+	c.put(k(1), Result{})
+	c.put(k(2), Result{})
+	if _, hit := c.get(k(1)); !hit { // touch 1 so 2 becomes LRU
+		t.Fatal("expected hit for key 1")
+	}
+	c.put(k(3), Result{})
+	if _, hit := c.get(k(2)); hit {
+		t.Fatal("key 2 should have been evicted")
+	}
+	for _, seed := range []int64{1, 3} {
+		if _, hit := c.get(k(seed)); !hit {
+			t.Fatalf("key %d should survive", seed)
+		}
+	}
+}
