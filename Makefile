@@ -1,20 +1,33 @@
 # Reproducible one-liners for the graphrealize reproduction.
 #
-#   make build   compile everything
-#   make test    tier-1 verify: build + full test suite
-#   make race    race-test the engine and the service layer
-#   make bench   full benchmark pass (benchstat-comparable output)
-#   make sweep   multi-seed realization sweep on all cores
-#   make tables  regenerate every experiment table (quick scale)
+#   make build          compile everything
+#   make test           tier-1 verify: build + full test suite
+#   make race           race-test the engine and service layers
+#   make bench          full benchmark pass (benchstat-comparable output)
+#   make sweep          multi-seed realization sweep on all cores
+#   make tables         regenerate every experiment table (quick scale)
+#   make serve          run the HTTP realization service
+#   make loadgen        drive a running service with mixed traffic
+#   make bench-compare  bench HEAD vs BASE and gate like CI does
+#
+# Service knobs: ADDR, QUEUE, JOB_TIMEOUT; loadgen knobs: CONC, REQS, MIX.
 
-GO      ?= go
-SCALE   ?= quick
-SEEDS   ?= 16
-WORKERS ?= 0
-N       ?= 256
-FAMILY  ?= powerlaw
+GO          ?= go
+SCALE       ?= quick
+SEEDS       ?= 16
+WORKERS     ?= 0
+N           ?= 256
+FAMILY      ?= powerlaw
+ADDR        ?= 127.0.0.1:8080
+QUEUE       ?= 256
+JOB_TIMEOUT ?= 60s
+CONC        ?= 64
+REQS        ?= 500
+MIX         ?= degree,tree,connectivity
+BASE        ?= main
+BENCH_ARGS  := -run '^$$' -bench . -benchtime 3x -count 5 .
 
-.PHONY: build test race bench sweep tables vet clean
+.PHONY: build test race bench sweep tables vet fmt-check serve loadgen bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -25,8 +38,12 @@ test: build
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+
 race:
-	$(GO) test -race ./internal/ncc/ .
+	$(GO) test -race ./internal/ncc/ ./internal/serve/ .
 
 # Pipe consecutive runs into benchstat to compare engine changes; the
 # delivery/barrier benchmarks track allocs/op, the batch benchmark the
@@ -39,6 +56,30 @@ sweep:
 
 tables:
 	$(GO) run ./cmd/benchtab -scale $(SCALE) -workers $(WORKERS)
+
+# The HTTP realization service and its load generator (same commands the CI
+# e2e-smoke job runs).
+serve:
+	$(GO) run ./cmd/grserved -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE) -job-timeout $(JOB_TIMEOUT)
+
+loadgen:
+	$(GO) run ./cmd/grloadgen -addr http://$(ADDR) -c $(CONC) -requests $(REQS) -mix $(MIX)
+
+# Bench HEAD against BASE (default: main) with the exact commands and gate
+# the CI bench-regression job uses. Requires a clean worktree for BASE.
+# Plain redirects (no tee) so a failing bench run fails the target under
+# shells without pipefail.
+bench-compare:
+	$(GO) test $(BENCH_ARGS) > /tmp/graphrealize-bench-head.txt
+	cat /tmp/graphrealize-bench-head.txt
+	git worktree add --force /tmp/graphrealize-bench-base $(BASE)
+	(cd /tmp/graphrealize-bench-base && $(GO) test $(BENCH_ARGS)) > /tmp/graphrealize-bench-base.txt; \
+		status=$$?; git worktree remove --force /tmp/graphrealize-bench-base; \
+		exit $$status
+	cat /tmp/graphrealize-bench-base.txt
+	$(GO) run ./cmd/benchgate -base /tmp/graphrealize-bench-base.txt \
+		-head /tmp/graphrealize-bench-head.txt \
+		-threshold 30 -match BenchmarkBatchRealization -json bench.json
 
 clean:
 	$(GO) clean ./...

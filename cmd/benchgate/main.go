@@ -1,0 +1,104 @@
+// Command benchgate compares two `go test -bench` output files and fails on
+// regressions: the CI benchmark gate. It prints every common benchmark's
+// base/head medians, writes a machine-readable JSON report, and exits
+// non-zero only when a benchmark matching -match slows down by more than
+// -threshold percent. Use benchstat alongside it for proper statistics; the
+// gate is deliberately a blunt, dependency-free threshold.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt
+//	benchgate -base base.txt -head head.txt -threshold 30 -match BatchRealization -json bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"text/tabwriter"
+
+	"graphrealize/internal/benchcmp"
+)
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the merge base (required)")
+	headPath := flag.String("head", "", "bench output of the PR head (required)")
+	threshold := flag.Float64("threshold", 30, "fail when a matching benchmark slows down by more than this percent")
+	match := flag.String("match", "BenchmarkBatchRealization", "regexp selecting the gated benchmarks")
+	jsonPath := flag.String("json", "", "write the full comparison as JSON to this path")
+	flag.Parse()
+
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	gate, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	base := mustParse(*basePath)
+	head := mustParse(*headPath)
+	deltas := benchcmp.Compare(base, head)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between base and head")
+		os.Exit(2)
+	}
+	regressions := benchcmp.Regressions(deltas, gate, *threshold)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tbase ns/op\thead ns/op\tdelta\tgated")
+	for _, d := range deltas {
+		gated := ""
+		if gate.MatchString(d.Name) {
+			gated = "yes"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", d.Name, d.BaseNs, d.HeadNs, d.Pct, gated)
+	}
+	tw.Flush()
+
+	if *jsonPath != "" {
+		report := struct {
+			ThresholdPct float64          `json:"threshold_pct"`
+			Match        string           `json:"match"`
+			Deltas       []benchcmp.Delta `json:"deltas"`
+			Regressions  []benchcmp.Delta `json:"regressions"`
+		}{*threshold, *match, deltas, regressions}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%:\n", len(regressions), *threshold)
+		for _, d := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/op (%+.1f%%)\n", d.Name, d.BaseNs, d.HeadNs, d.Pct)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — no %s regression above %.0f%% (%d benchmarks compared)\n",
+		*match, *threshold, len(deltas))
+}
+
+func mustParse(path string) map[string][]float64 {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	out, err := benchcmp.Parse(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return out
+}

@@ -1,12 +1,15 @@
 // Command connreal builds an overlay meeting pairwise edge-connectivity
 // thresholds (§6 of the paper) and reports the 2-approximation quality and
-// sampled Menger verification.
+// sampled Menger verification. With -seeds k it runs a deterministic
+// multi-seed sweep through the batch Runner (shared result cache, per-job
+// seeding) and reports per-seed costs.
 //
 // Usage:
 //
 //	connreal -n 32 -maxrho 5                 # NCC0 explicit (Thm 18)
 //	connreal -n 32 -maxrho 5 -ncc1           # NCC1 implicit (Thm 17)
 //	connreal -rho 3,3,2,2,1,1
+//	connreal -n 64 -seeds 8 -workers 4
 package main
 
 import (
@@ -25,7 +28,9 @@ func main() {
 	n := flag.Int("n", 32, "node count for the generated vector")
 	maxRho := flag.Int("maxrho", 4, "maximum threshold for the generated vector")
 	ncc1 := flag.Bool("ncc1", false, "run the NCC1 O~(1) algorithm (Thm 17) instead of NCC0 (Thm 18)")
-	seed := flag.Int64("seed", 1, "deterministic seed")
+	seed := flag.Int64("seed", 1, "deterministic seed (first of the sweep)")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+	workers := flag.Int("workers", 0, "parallel jobs for the sweep (0 = GOMAXPROCS)")
 	verify := flag.Int("verify", 50, "number of sampled pairs to verify by max-flow (0 = skip)")
 	flag.Parse()
 
@@ -47,15 +52,37 @@ func main() {
 	if *ncc1 {
 		opt.Model = graphrealize.NCC1
 	}
-	g, stats, err := graphrealize.RealizeConnectivity(rho, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "connreal:", err)
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+	// Route through the Runner like degreal/benchtab: deterministic per-job
+	// seeding and the shared result cache, plus parallelism for sweeps.
+	jobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: graphrealize.JobConnectivity, Seq: rho, Opt: opt}, seedList)
+	results := graphrealize.NewRunner(*workers).RealizeAll(jobs)
+	first := results[0]
+	if first.Err != nil {
+		fmt.Fprintln(os.Stderr, "connreal:", first.Err)
 		os.Exit(1)
 	}
+	g, stats := first.Graph, first.Stats
 	lb := graphrealize.ConnectivityLowerBound(rho)
 	fmt.Printf("model: %s\n", map[bool]string{false: "NCC0 (explicit, Thm 18)", true: "NCC1 (implicit, Thm 17)"}[*ncc1])
 	fmt.Printf("realized: m=%d  LB=%d  approx=%.2f (bound 2.00)\n", g.M(), lb, float64(g.M())/float64(lb))
 	fmt.Printf("cost: %s\n", stats)
+	if *seeds > 1 {
+		for i, res := range results {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "connreal: seed %d: %v\n", seedList[i], res.Err)
+				os.Exit(1)
+			}
+			fmt.Printf("seed=%-4d m=%-5d rounds=%-6d msgs=%-8d maxRecv=%d\n",
+				seedList[i], res.Graph.M(), res.Stats.Rounds, res.Stats.Messages, res.Stats.MaxRecv)
+		}
+	}
 
 	if *verify > 0 {
 		nn := len(rho)

@@ -1,0 +1,308 @@
+// Command grloadgen drives a running grserved instance with mixed scenario
+// traffic and prints a latency/throughput table. It is the service's proof
+// point and the input for performance tracking: scenarios cover the three
+// realization families with varying n and per-request seeds, so the
+// server-side cache is exercised but not saturated.
+//
+// Usage:
+//
+//	grloadgen                                              # 16 conns, 200 reqs
+//	grloadgen -c 64 -requests 500 -mix degree,tree,connectivity
+//	grloadgen -mix degree:3,sweep:1 -n 96 -edges
+//
+// Mix entries are scenario[:weight] with scenarios degree, tree,
+// connectivity, and sweep. The exit status is non-zero if any request fails,
+// so the tool doubles as a CI end-to-end check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+
+	"graphrealize/internal/gen"
+)
+
+type scenario struct {
+	name string
+	path string
+	body func(n int, seed int64) any
+}
+
+func scenarios(variantEvery int) map[string]scenario {
+	return map[string]scenario{
+		"degree": {
+			name: "degree",
+			path: "/v1/realize/degree",
+			body: func(n int, seed int64) any {
+				variant := ""
+				if variantEvery > 0 && seed%int64(variantEvery) == 0 {
+					variant = "explicit"
+				}
+				return map[string]any{
+					"sequence": gen.FromRandomGraph(n, 8.0/float64(n), seed),
+					"variant":  variant,
+					"options":  map[string]any{"seed": seed},
+				}
+			},
+		},
+		"tree": {
+			name: "tree",
+			path: "/v1/realize/tree",
+			body: func(n int, seed int64) any {
+				variant := "chain"
+				if seed%2 == 0 {
+					variant = "mindiam"
+				}
+				return map[string]any{
+					"sequence": gen.TreeSequence(n, seed),
+					"variant":  variant,
+					"options":  map[string]any{"seed": seed},
+				}
+			},
+		},
+		"connectivity": {
+			name: "connectivity",
+			path: "/v1/realize/connectivity",
+			body: func(n int, seed int64) any {
+				return map[string]any{
+					"sequence": gen.UniformRho(n, 4, seed),
+					"options":  map[string]any{"seed": seed, "model": "ncc1"},
+				}
+			},
+		},
+		"sweep": {
+			name: "sweep",
+			path: "/v1/sweep",
+			body: func(n int, seed int64) any {
+				return map[string]any{
+					"kind":       "degrees",
+					"sequence":   gen.FromRandomGraph(n, 8.0/float64(n), seed),
+					"seed_count": 4,
+					"seed_start": seed,
+				}
+			},
+		},
+	}
+}
+
+type sample struct {
+	scenario string
+	latency  time.Duration
+	err      string
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the grserved instance")
+	conc := flag.Int("c", 16, "concurrent connections")
+	requests := flag.Int("requests", 200, "total requests to send")
+	mixFlag := flag.String("mix", "degree,tree,connectivity", "scenario[:weight] list")
+	n := flag.Int("n", 48, "base sequence length (scenarios vary it ±50%)")
+	seed := flag.Int64("seed", 1, "first per-request seed")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
+	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
+	flag.Parse()
+
+	if *requests <= 0 || *conc <= 0 {
+		fmt.Fprintln(os.Stderr, "grloadgen: -requests and -c must be positive")
+		os.Exit(2)
+	}
+	all := scenarios(5)
+	var slots []scenario
+	for _, entry := range strings.Split(*mixFlag, ",") {
+		name, weightStr, hasWeight := strings.Cut(strings.TrimSpace(entry), ":")
+		sc, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "grloadgen: unknown scenario %q (want degree, tree, connectivity, or sweep)\n", name)
+			os.Exit(2)
+		}
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "grloadgen: bad weight in %q\n", entry)
+				os.Exit(2)
+			}
+			weight = w
+		}
+		for i := 0; i < weight; i++ {
+			slots = append(slots, sc)
+		}
+	}
+	if len(slots) == 0 {
+		fmt.Fprintln(os.Stderr, "grloadgen: empty -mix")
+		os.Exit(2)
+	}
+	// Three sizes around -n keep the working set diverse without letting a
+	// single huge job dominate the tail.
+	sizes := []int{max(8, *n/2), max(8, *n), max(8, *n+*n/2)}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+		},
+	}
+	base := strings.TrimRight(*addr, "/")
+
+	var next atomic.Int64
+	results := make([][]sample, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(*requests) {
+					return
+				}
+				sc := slots[i%int64(len(slots))]
+				// Index sizes by the mix cycle count so scenario and size
+				// decorrelate even when len(slots) == len(sizes).
+				nn := sizes[(i/int64(len(slots)))%int64(len(sizes))]
+				body := sc.body(nn, *seed+i)
+				if m, ok := body.(map[string]any); ok && !*edges && sc.name != "sweep" {
+					m["omit_edges"] = true
+				}
+				payload, err := json.Marshal(body)
+				if err != nil {
+					results[w] = append(results[w], sample{scenario: sc.name, err: err.Error()})
+					continue
+				}
+				t0 := time.Now()
+				resp, err := client.Post(base+sc.path, "application/json", bytes.NewReader(payload))
+				lat := time.Since(t0)
+				s := sample{scenario: sc.name, latency: lat}
+				if err != nil {
+					s.err = err.Error()
+				} else {
+					msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						s.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+					}
+				}
+				results[w] = append(results[w], s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var samples []sample
+	for _, rs := range results {
+		samples = append(samples, rs...)
+	}
+	report(os.Stdout, samples, wall)
+	fetchStats(client, base)
+
+	failures := 0
+	for _, s := range samples {
+		if s.err != "" {
+			failures++
+			if failures <= 5 {
+				fmt.Fprintf(os.Stderr, "grloadgen: %s: %s\n", s.scenario, s.err)
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "grloadgen: %d/%d requests failed\n", failures, len(samples))
+		os.Exit(1)
+	}
+}
+
+// report prints the per-scenario and total latency/throughput table.
+func report(out io.Writer, samples []sample, wall time.Duration) {
+	byScenario := map[string][]sample{}
+	var order []string
+	for _, s := range samples {
+		if _, seen := byScenario[s.scenario]; !seen {
+			order = append(order, s.scenario)
+		}
+		byScenario[s.scenario] = append(byScenario[s.scenario], s)
+	}
+	sort.Strings(order)
+
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\treqs\terrs\tmean\tp50\tp90\tp99\tmax")
+	row := func(name string, ss []sample) {
+		var lats []time.Duration
+		var sum time.Duration
+		errs := 0
+		for _, s := range ss {
+			if s.err != "" {
+				errs++
+				continue
+			}
+			lats = append(lats, s.latency)
+			sum += s.latency
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		if len(lats) == 0 {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\t-\t-\n", name, len(ss), errs)
+			return
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			name, len(ss), errs,
+			fmtMS(sum/time.Duration(len(lats))),
+			fmtMS(pct(lats, 50)), fmtMS(pct(lats, 90)), fmtMS(pct(lats, 99)),
+			fmtMS(lats[len(lats)-1]))
+	}
+	for _, name := range order {
+		row(name, byScenario[name])
+	}
+	row("TOTAL", samples)
+	tw.Flush()
+	fmt.Fprintf(out, "wall %.2fs, throughput %.1f req/s\n",
+		wall.Seconds(), float64(len(samples))/wall.Seconds())
+}
+
+// fetchStats surfaces the server-side Runner counters after the run.
+func fetchStats(client *http.Client, base string) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Submitted int64   `json:"submitted"`
+		Rejected  int64   `json:"rejected"`
+		CacheHits int64   `json:"cache_hits"`
+		AvgWaitMS float64 `json:"avg_wait_ms"`
+		AvgRunMS  float64 `json:"avg_run_ms"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&st) == nil {
+		fmt.Printf("server: submitted=%d rejected=%d cache_hits=%d avg_wait=%.1fms avg_run=%.1fms\n",
+			st.Submitted, st.Rejected, st.CacheHits, st.AvgWaitMS, st.AvgRunMS)
+	}
+}
+
+// pct returns the p-th percentile of an ascending latency slice.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+func fmtMS(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,94 @@
+// Command grserved serves graph realizations over HTTP: the facade's
+// algorithms (§4–§6 of the paper) behind a sharded Runner with a bounded
+// admission queue, per-job deadlines, and a result cache. See internal/serve
+// for the API and README.md for curl examples.
+//
+// Usage:
+//
+//	grserved                                  # :8080, GOMAXPROCS workers
+//	grserved -addr :9090 -workers 8 -queue 64
+//	grserved -job-timeout 10s -max-n 2048 -quiet
+//
+// The server drains in-flight requests on SIGINT/SIGTERM and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"graphrealize"
+	"graphrealize/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "concurrent realization jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "admitted jobs waiting for a worker before 429s (-1 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution deadline (0 = none)")
+	maxN := flag.Int("max-n", 4096, "largest accepted sequence length")
+	maxSeeds := flag.Int("max-seeds", 64, "largest accepted sweep seed count")
+	cacheSize := flag.Int("cache", graphrealize.DefaultCacheSize, "result-cache capacity")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "grserved: ", log.LstdFlags)
+	runner := graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{
+		Workers:    *workers,
+		Queue:      *queue,
+		JobTimeout: *jobTimeout,
+		CacheSize:  *cacheSize,
+	})
+	cfg := serve.Config{
+		Backend:  runner,
+		MaxN:     *maxN,
+		MaxSeeds: *maxSeeds,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(cfg).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d)",
+		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN)
+	if *workers <= 0 {
+		logger.Printf("worker pool sized to GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	}
+
+	select {
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	st := runner.Stats()
+	logger.Printf("drained: %d completed, %d cache hits, %d rejected, %d failed",
+		st.Completed, st.CacheHits, st.Rejected, st.Failed)
+}

@@ -1,5 +1,7 @@
 // Command treereal realizes a tree degree sequence with Algorithm 4 (chain)
 // and Algorithm 5 (minimum-diameter greedy tree) and compares diameters.
+// Both algorithms run concurrently through the batch Runner, sharing its
+// result cache and deterministic per-job seeding.
 //
 // Usage:
 //
@@ -52,17 +54,18 @@ func main() {
 	fmt.Printf("input: n=%d tree-realizable=%v\n", len(d), graphrealize.IsTreeSequence(d))
 
 	opt := &graphrealize.Options{Seed: *seed}
-	chain, chainStats, err := graphrealize.RealizeTree(d, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "treereal: algorithm 4:", err)
-		os.Exit(1)
+	results := graphrealize.NewRunner(0).RealizeAll([]graphrealize.Job{
+		{Kind: graphrealize.JobChainTree, Seq: d, Opt: opt, Label: "algorithm 4"},
+		{Kind: graphrealize.JobMinDiamTree, Seq: d, Opt: opt, Label: "algorithm 5"},
+	})
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "treereal: %s: %v\n", res.Job.Label, res.Err)
+			os.Exit(1)
+		}
 	}
-	greedy, greedyStats, err := graphrealize.RealizeMinDiameterTree(d, opt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "treereal: algorithm 5:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("algorithm 4 (chain):  diameter=%d  %s\n", chain.Diameter(), chainStats)
-	fmt.Printf("algorithm 5 (greedy): diameter=%d  %s\n", greedy.Diameter(), greedyStats)
+	chain, greedy := results[0], results[1]
+	fmt.Printf("algorithm 4 (chain):  diameter=%d  %s\n", chain.Graph.Diameter(), chain.Stats)
+	fmt.Printf("algorithm 5 (greedy): diameter=%d  %s\n", greedy.Graph.Diameter(), greedy.Stats)
 	fmt.Printf("optimal diameter (Lemma 15): %d\n", graphrealize.MinTreeDiameter(d))
 }

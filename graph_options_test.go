@@ -5,6 +5,7 @@ package graphrealize
 // tests only exercise incidentally.
 
 import (
+	"context"
 	"testing"
 
 	"graphrealize/internal/graph"
@@ -133,13 +134,13 @@ func TestOptionsNormDefaults(t *testing.T) {
 
 func TestOptionsSimConfig(t *testing.T) {
 	o := Options{Model: NCC1, Seed: 5, Strict: true, CapMul: 2, MaxRounds: 123}
-	cfg := o.simConfig(7, []any{1, 2})
+	cfg := o.simConfig(context.Background(), 7, []any{1, 2})
 	if cfg.N != 7 || cfg.Model != ncc.NCC1 || cfg.Seed != 5 || !cfg.Strict ||
 		cfg.CapMul != 2 || cfg.MaxRounds != 123 || len(cfg.Inputs) != 2 {
 		t.Fatalf("simConfig mapping wrong: %+v", cfg)
 	}
 	zero := Options{}
-	cfg0 := zero.simConfig(3, nil)
+	cfg0 := zero.simConfig(context.Background(), 3, nil)
 	if cfg0.Model != ncc.NCC0 || cfg0.CapMul != 0 || cfg0.MaxRounds != 0 {
 		// CapMul/MaxRounds stay zero here; ncc.New applies the defaults.
 		t.Fatalf("zero options must map to zero config fields: %+v", cfg0)

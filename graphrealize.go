@@ -20,6 +20,7 @@
 package graphrealize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -201,7 +202,7 @@ func (o *Options) norm() Options {
 	return *o
 }
 
-func (o Options) simConfig(n int, inputs []any) ncc.Config {
+func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config {
 	model := ncc.NCC0
 	if o.Model == NCC1 {
 		model = ncc.NCC1
@@ -214,7 +215,19 @@ func (o Options) simConfig(n int, inputs []any) ncc.Config {
 		Strict:    o.Strict,
 		MaxRounds: o.MaxRounds,
 		Inputs:    inputs,
+		Stop:      ctx.Done(),
 	}
+}
+
+// mapRunErr translates the engine's cancellation sentinel into the context's
+// own error so callers can match context.Canceled / context.DeadlineExceeded.
+func mapRunErr(ctx context.Context, err error) error {
+	if err != nil && errors.Is(err, ncc.ErrCanceled) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+	}
+	return err
 }
 
 func (o Options) sortMethod() sortnet.Method {
@@ -265,21 +278,21 @@ func toInputs(d []int) []any {
 // returns the implicit realization of d (d[i] is the degree required by
 // vertex i). It returns ErrUnrealizable when d is not graphic.
 func RealizeDegrees(d []int, opt *Options) (*Graph, *Stats, error) {
-	return realizeDegrees(d, opt, false)
+	return realizeDegrees(context.Background(), d, opt, false)
 }
 
 // RealizeDegreesExplicit additionally converts the realization to explicit
 // form (§4.2, Theorem 12): both endpoints of every edge know it.
 func RealizeDegreesExplicit(d []int, opt *Options) (*Graph, *Stats, error) {
-	return realizeDegrees(d, opt, true)
+	return realizeDegrees(context.Background(), d, opt, true)
 }
 
-func realizeDegrees(d []int, opt *Options, explicit bool) (*Graph, *Stats, error) {
+func realizeDegrees(ctx context.Context, d []int, opt *Options, explicit bool) (*Graph, *Stats, error) {
 	if len(d) == 0 {
 		return nil, nil, ErrBadInput
 	}
 	o := opt.norm()
-	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
 	tr, err := s.Run(func(nd *ncc.Node) {
 		env := core.Setup(nd, o.sortMethod())
@@ -290,7 +303,7 @@ func realizeDegrees(d []int, opt *Options, explicit bool) (*Graph, *Stats, error
 		nd.SetOutput("phases", int64(out.Phases))
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapRunErr(ctx, err)
 	}
 	st := statsOf(tr)
 	if v, ok := tr.MaxOutput("phases"); ok {
@@ -307,11 +320,15 @@ func realizeDegrees(d []int, opt *Options, explicit bool) (*Graph, *Stats, error
 // clamping d into [0, n−1]). It returns the realized graph and the envelope
 // degrees d′ (indexed like d).
 func RealizeUpperEnvelope(d []int, opt *Options) (*Graph, []int, *Stats, error) {
+	return realizeEnvelope(context.Background(), d, opt)
+}
+
+func realizeEnvelope(ctx context.Context, d []int, opt *Options) (*Graph, []int, *Stats, error) {
 	if len(d) == 0 {
 		return nil, nil, nil, ErrBadInput
 	}
 	o := opt.norm()
-	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
 	tr, err := s.Run(func(nd *ncc.Node) {
 		env := core.Setup(nd, o.sortMethod())
@@ -320,7 +337,7 @@ func RealizeUpperEnvelope(d []int, opt *Options) (*Graph, []int, *Stats, error) 
 		nd.SetOutput("phases", int64(out.Phases))
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, mapRunErr(ctx, err)
 	}
 	st := statsOf(tr)
 	if v, ok := tr.MaxOutput("phases"); ok {
@@ -337,21 +354,21 @@ func RealizeUpperEnvelope(d []int, opt *Options) (*Graph, []int, *Stats, error) 
 // RealizeTree runs Algorithm 4 (§5, Theorem 14), realizing a tree sequence
 // as a maximum-diameter chain-plus-leaves tree.
 func RealizeTree(d []int, opt *Options) (*Graph, *Stats, error) {
-	return realizeTree(d, opt, false)
+	return realizeTree(context.Background(), d, opt, false)
 }
 
 // RealizeMinDiameterTree runs Algorithm 5 (§5, Theorem 16): the greedy tree
 // T_G, whose diameter is minimum over all tree realizations of d (Lemma 15).
 func RealizeMinDiameterTree(d []int, opt *Options) (*Graph, *Stats, error) {
-	return realizeTree(d, opt, true)
+	return realizeTree(context.Background(), d, opt, true)
 }
 
-func realizeTree(d []int, opt *Options, greedy bool) (*Graph, *Stats, error) {
+func realizeTree(ctx context.Context, d []int, opt *Options, greedy bool) (*Graph, *Stats, error) {
 	if len(d) == 0 {
 		return nil, nil, ErrBadInput
 	}
 	o := opt.norm()
-	s := ncc.New(o.simConfig(len(d), toInputs(d)))
+	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
 	tr, err := s.Run(func(nd *ncc.Node) {
 		env := core.Setup(nd, o.sortMethod())
@@ -363,7 +380,7 @@ func realizeTree(d []int, opt *Options, greedy bool) (*Graph, *Stats, error) {
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapRunErr(ctx, err)
 	}
 	st := statsOf(tr)
 	if tr.Unrealizable {
@@ -377,11 +394,15 @@ func realizeTree(d []int, opt *Options, greedy bool) (*Graph, *Stats, error) {
 // 2-approximation). Under NCC1 it runs the O~(1) implicit algorithm of
 // Theorem 17; under NCC0 the explicit O~(Δ) Algorithm 6 of Theorem 18.
 func RealizeConnectivity(rho []int, opt *Options) (*Graph, *Stats, error) {
+	return realizeConnectivity(context.Background(), rho, opt)
+}
+
+func realizeConnectivity(ctx context.Context, rho []int, opt *Options) (*Graph, *Stats, error) {
 	if len(rho) == 0 {
 		return nil, nil, ErrBadInput
 	}
 	o := opt.norm()
-	s := ncc.New(o.simConfig(len(rho), toInputs(rho)))
+	s := ncc.New(o.simConfig(ctx, len(rho), toInputs(rho)))
 	sortnet.RegisterOracle(s)
 	tr, err := s.Run(func(nd *ncc.Node) {
 		r := nd.Input().(int)
@@ -393,7 +414,7 @@ func RealizeConnectivity(rho []int, opt *Options) (*Graph, *Stats, error) {
 		}
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, mapRunErr(ctx, err)
 	}
 	st := statsOf(tr)
 	if tr.Unrealizable {

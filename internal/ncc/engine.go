@@ -28,6 +28,13 @@ func (s *Sim) drive(panics chan error) {
 			}
 		}
 	drained:
+		if s.firstErr == nil && s.cfg.Stop != nil {
+			select {
+			case <-s.cfg.Stop:
+				s.firstErr = ErrCanceled
+			default:
+			}
+		}
 		if s.firstErr != nil {
 			if s.killAll() {
 				continue

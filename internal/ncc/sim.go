@@ -32,6 +32,12 @@ type Config struct {
 	MaxRounds int
 	// Inputs, if non-nil, assigns Inputs[i] to the node at Gk position i.
 	Inputs []any
+	// Stop, if non-nil, aborts the run when it becomes readable (typically a
+	// context's Done channel). The engine checks it once per barrier, kills
+	// every parked node, and Run returns ErrCanceled. Cancellation is
+	// cooperative at round granularity: a run stops between rounds, never
+	// mid-round.
+	Stop <-chan struct{}
 	// OrderedIDs forces node IDs to be assigned in increasing order along the
 	// Gk path (IDs are still random in NCC0 unless Model is NCC1). Figures in
 	// the paper use this layout; by default the path order is a random
@@ -50,6 +56,10 @@ const DefaultMaxRounds = 50_000_000
 // ErrDeadlock is returned when every live node is waiting for a message and
 // none is in flight.
 var ErrDeadlock = errors.New("ncc: deadlock: all live nodes await messages and none are in flight")
+
+// ErrCanceled is returned when Config.Stop aborts a run before the protocol
+// completes.
+var ErrCanceled = errors.New("ncc: run canceled")
 
 // CollectiveOut is the per-node output of a collective handler. Learn lists
 // IDs the node acquires knowledge of (NCC0 bookkeeping for centrally executed

@@ -1,0 +1,363 @@
+// Package serve is the HTTP layer of the realization service: a thin,
+// stateless router that maps JSON requests onto graphrealize Runner jobs
+// and the Runner's backpressure onto HTTP status codes.
+//
+// Endpoints:
+//
+//	POST /v1/realize/degree        degree-sequence realization (§4)
+//	POST /v1/realize/tree          tree realization (§5)
+//	POST /v1/realize/connectivity  connectivity realization (§6)
+//	POST /v1/sweep                 one sequence under many seeds
+//	GET  /healthz                  liveness
+//	GET  /v1/stats                 Runner queue/cache/latency counters
+//
+// Error mapping: malformed requests are 400, oversized inputs 413,
+// unrealizable sequences 422, a saturated Runner 429 (backpressure — the
+// request was never admitted), job timeouts 504, and a client that
+// disconnected mid-job 499.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"graphrealize"
+)
+
+// StatusClientClosedRequest reports a job abandoned because the client went
+// away (nginx's non-standard 499); it is never seen by a live client.
+const StatusClientClosedRequest = 499
+
+// Backend is the slice of the graphrealize.Runner API the service uses.
+// It is an interface so tests can pin queue-full and cancellation paths
+// deterministically.
+type Backend interface {
+	SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	SubmitAllCtx(ctx context.Context, jobs []graphrealize.Job) ([]<-chan graphrealize.Result, error)
+	Stats() graphrealize.RunnerStats
+}
+
+// Config assembles a Server.
+type Config struct {
+	// Backend executes jobs; typically a *graphrealize.Runner.
+	Backend Backend
+	// MaxN caps the sequence length of a single request (default 4096).
+	MaxN int
+	// MaxSeeds caps the seeds of one sweep request (default 64).
+	MaxSeeds int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+// Server routes realization requests onto a Backend.
+type Server struct {
+	cfg     Config
+	started time.Time
+}
+
+// New creates a Server. It panics if cfg.Backend is nil: a service without
+// an executor is a programming error, not a runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Backend == nil {
+		panic("serve: Config.Backend is required")
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 4096
+	}
+	if cfg.MaxSeeds <= 0 {
+		cfg.MaxSeeds = 64
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	return &Server{cfg: cfg, started: time.Now()}
+}
+
+// Handler returns the service's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/realize/{alg}", s.logged(s.handleRealize))
+	mux.HandleFunc("POST /v1/sweep", s.logged(s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.logged(s.handleHealth))
+	mux.HandleFunc("GET /v1/stats", s.logged(s.handleStats))
+	return mux
+}
+
+// statusRecorder captures the status code for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.Logf == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.cfg.Logf("%s %s -> %d (%.1fms)", r.Method, r.URL.Path, rec.status, float64(time.Since(start).Microseconds())/1000)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeResultError maps a job-level error onto an HTTP status.
+func writeResultError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, graphrealize.ErrUnrealizable):
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+	case errors.Is(err, graphrealize.ErrBadInput):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "job exceeded its deadline")
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, "client closed request")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// decode reads a JSON body with the configured size cap. It distinguishes
+// oversized bodies (413) from malformed ones (400).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// checkSequence enforces presence and the MaxN cap.
+func (s *Server) checkSequence(w http.ResponseWriter, seq []int) bool {
+	if len(seq) == 0 {
+		writeError(w, http.StatusBadRequest, "sequence is required and must be non-empty")
+		return false
+	}
+	if len(seq) > s.cfg.MaxN {
+		writeError(w, http.StatusRequestEntityTooLarge, "sequence length %d exceeds the service cap n=%d", len(seq), s.cfg.MaxN)
+		return false
+	}
+	return true
+}
+
+// submit runs one job to completion under the request context, translating
+// admission rejection into 429 with a Retry-After hint.
+func (s *Server) submit(w http.ResponseWriter, ctx context.Context, j graphrealize.Job) (graphrealize.Result, bool) {
+	ch, err := s.cfg.Backend.SubmitCtx(ctx, j)
+	if err != nil {
+		if errors.Is(err, graphrealize.ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "runner queue is full; retry later")
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return graphrealize.Result{}, false
+	}
+	res := <-ch
+	if res.Err != nil {
+		writeResultError(w, res.Err)
+		return res, false
+	}
+	return res, true
+}
+
+// errUnknownAlgorithm distinguishes a bad {alg} path element (404) from a
+// bad variant on a known algorithm (400).
+var errUnknownAlgorithm = errors.New("unknown algorithm")
+
+// jobKindFor maps an /v1/realize/{alg} path plus variant to a JobKind.
+func jobKindFor(alg, variant string) (graphrealize.JobKind, error) {
+	switch alg {
+	case "degree":
+		switch variant {
+		case "", "implicit":
+			return graphrealize.JobDegrees, nil
+		case "explicit":
+			return graphrealize.JobDegreesExplicit, nil
+		case "envelope":
+			return graphrealize.JobUpperEnvelope, nil
+		}
+		return 0, fmt.Errorf("unknown degree variant %q (want implicit, explicit, or envelope)", variant)
+	case "tree":
+		switch variant {
+		case "", "chain":
+			return graphrealize.JobChainTree, nil
+		case "mindiam", "min-diam", "greedy":
+			return graphrealize.JobMinDiamTree, nil
+		}
+		return 0, fmt.Errorf("unknown tree variant %q (want chain or mindiam)", variant)
+	case "connectivity":
+		if variant != "" {
+			return 0, fmt.Errorf("connectivity has no variants (got %q)", variant)
+		}
+		return graphrealize.JobConnectivity, nil
+	}
+	return 0, fmt.Errorf("%w %q (want degree, tree, or connectivity)", errUnknownAlgorithm, alg)
+}
+
+func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
+	var req RealizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	kind, err := jobKindFor(r.PathValue("alg"), req.Variant)
+	if err != nil {
+		if errors.Is(err, errUnknownAlgorithm) {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	if !s.checkSequence(w, req.Sequence) {
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	res, ok := s.submit(w, r.Context(), graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt})
+	if !ok {
+		return
+	}
+	resp := RealizeResponse{
+		Kind:      kind.String(),
+		N:         res.Graph.N,
+		M:         res.Graph.M(),
+		Envelope:  res.Envelope,
+		Stats:     statsJSON(res.Stats),
+		Cached:    res.Cached,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if !req.OmitEdges {
+		resp.Edges = res.Graph.Edges()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	kind, ok := parseKind(req.Kind)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown kind %q", req.Kind)
+		return
+	}
+	if !s.checkSequence(w, req.Sequence) {
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		count := req.SeedCount
+		if count <= 0 {
+			writeError(w, http.StatusBadRequest, "either seeds or a positive seed_count is required")
+			return
+		}
+		// Cap before allocating: seed_count is attacker-controlled.
+		if count > s.cfg.MaxSeeds {
+			writeError(w, http.StatusRequestEntityTooLarge, "%d seeds exceed the service cap %d", count, s.cfg.MaxSeeds)
+			return
+		}
+		seeds = make([]int64, count)
+		for i := range seeds {
+			seeds[i] = req.SeedStart + int64(i)
+		}
+	}
+	if len(seeds) > s.cfg.MaxSeeds {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d seeds exceed the service cap %d", len(seeds), s.cfg.MaxSeeds)
+		return
+	}
+
+	start := time.Now()
+	jobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt}, seeds)
+	// The whole sweep is admitted atomically (every job or none), so a
+	// saturated Runner rejects it as a unit (429) instead of wedging it
+	// halfway or starving a concurrent sweep.
+	chans, err := s.cfg.Backend.SubmitAllCtx(r.Context(), jobs)
+	if err != nil {
+		if errors.Is(err, graphrealize.ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"runner queue cannot admit a %d-job sweep; retry later", len(jobs))
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	resp := SweepResponse{Kind: kind.String(), N: len(req.Sequence), Seeds: len(seeds)}
+	var rounds []int
+	for i, ch := range chans {
+		res := <-ch
+		row := SweepRow{Seed: seeds[i], Cached: res.Cached}
+		if res.Err != nil {
+			// Realizability is seed-independent, so an unrealizable (or
+			// otherwise failed) sweep fails as a unit with the usual mapping.
+			writeResultError(w, res.Err)
+			return
+		}
+		row.M = res.Graph.M()
+		row.Stats = statsJSON(res.Stats)
+		if res.Cached {
+			resp.CacheHits++
+		}
+		rounds = append(rounds, res.Stats.Rounds)
+		resp.Rows = append(resp.Rows, row)
+	}
+	sort.Ints(rounds)
+	resp.RoundsMin = rounds[0]
+	resp.RoundsMedian = rounds[len(rounds)/2]
+	resp.RoundsMax = rounds[len(rounds)-1]
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse(s.cfg.Backend.Stats(), time.Since(s.started)))
+}

@@ -1,0 +1,337 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"graphrealize"
+	"graphrealize/internal/serve"
+)
+
+// fakeBackend scripts the Backend seam so admission-control and
+// cancellation paths are exercised deterministically, without real load.
+type fakeBackend struct {
+	submit func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	stats  graphrealize.RunnerStats
+}
+
+func (f *fakeBackend) SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+	return f.submit(ctx, j)
+}
+
+func (f *fakeBackend) SubmitAllCtx(ctx context.Context, jobs []graphrealize.Job) ([]<-chan graphrealize.Result, error) {
+	chans := make([]<-chan graphrealize.Result, len(jobs))
+	for i, j := range jobs {
+		ch, err := f.submit(ctx, j)
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	return chans, nil
+}
+
+func (f *fakeBackend) Stats() graphrealize.RunnerStats { return f.stats }
+
+func resultChan(res graphrealize.Result) <-chan graphrealize.Result {
+	ch := make(chan graphrealize.Result, 1)
+	ch <- res
+	return ch
+}
+
+// realServer wires a Server to a real Runner, the production configuration.
+func realServer(t *testing.T) http.Handler {
+	t.Helper()
+	s := serve.New(serve.Config{Backend: graphrealize.NewRunner(4), MaxN: 64, MaxSeeds: 8})
+	return s.Handler()
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeInto[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(rec.Body).Decode(&v); err != nil {
+		t.Fatalf("response is not valid JSON: %v (body %q)", err, rec.Body.String())
+	}
+	return v
+}
+
+func TestRealizeDegreeHappyPath(t *testing.T) {
+	h := realServer(t)
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[3,3,2,2,2,2],"options":{"seed":7}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeInto[serve.RealizeResponse](t, rec)
+	if resp.Kind != "degrees" || resp.N != 6 || resp.M != 7 {
+		t.Fatalf("unexpected realization: %+v", resp)
+	}
+	if len(resp.Edges) != 7 {
+		t.Fatalf("want 7 edges, got %d", len(resp.Edges))
+	}
+	if resp.Stats.Rounds <= 0 || resp.Stats.Messages <= 0 {
+		t.Fatalf("stats not populated: %+v", resp.Stats)
+	}
+
+	// An identical request is served from the Runner cache.
+	rec = post(t, h, "/v1/realize/degree", `{"sequence":[3,3,2,2,2,2],"options":{"seed":7}}`)
+	if resp := decodeInto[serve.RealizeResponse](t, rec); !resp.Cached {
+		t.Fatal("identical request must be served from the cache")
+	}
+}
+
+func TestRealizeVariantsAndOmitEdges(t *testing.T) {
+	h := realServer(t)
+
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[2,2,2,2],"variant":"explicit","omit_edges":true}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explicit: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeInto[serve.RealizeResponse](t, rec); resp.Edges != nil || resp.M != 4 {
+		t.Fatalf("omit_edges must drop the edge list but keep m: %+v", resp)
+	}
+
+	// The envelope variant succeeds on a non-graphic input and returns d'.
+	rec = post(t, h, "/v1/realize/degree", `{"sequence":[3,3,1,1],"variant":"envelope"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("envelope: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeInto[serve.RealizeResponse](t, rec); len(resp.Envelope) != 4 {
+		t.Fatalf("envelope variant must return the envelope degrees: %+v", resp)
+	}
+
+	rec = post(t, h, "/v1/realize/tree", `{"sequence":[3,3,2,1,1,1,1,2],"variant":"mindiam"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("tree: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp := decodeInto[serve.RealizeResponse](t, rec); resp.M != 7 {
+		t.Fatalf("a tree on 8 vertices has 7 edges: %+v", resp)
+	}
+
+	rec = post(t, h, "/v1/realize/connectivity", `{"sequence":[2,2,1,1,1,1],"options":{"model":"ncc1"}}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("connectivity: want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRealizeRejectsMalformedRequests(t *testing.T) {
+	h := realServer(t)
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed json", "/v1/realize/degree", `{"sequence":[3,`, http.StatusBadRequest},
+		{"unknown field", "/v1/realize/degree", `{"sequenze":[1,1]}`, http.StatusBadRequest},
+		{"empty sequence", "/v1/realize/degree", `{"sequence":[]}`, http.StatusBadRequest},
+		{"missing sequence", "/v1/realize/degree", `{}`, http.StatusBadRequest},
+		{"bad variant", "/v1/realize/degree", `{"sequence":[1,1],"variant":"nope"}`, http.StatusBadRequest},
+		{"bad model", "/v1/realize/degree", `{"sequence":[1,1],"options":{"model":"ncc9"}}`, http.StatusBadRequest},
+		{"bad sort", "/v1/realize/degree", `{"sequence":[1,1],"options":{"sort":"bogo"}}`, http.StatusBadRequest},
+		{"unknown algorithm", "/v1/realize/matching", `{"sequence":[1,1]}`, http.StatusNotFound},
+		{"unrealizable", "/v1/realize/degree", `{"sequence":[3,3,1,1]}`, http.StatusUnprocessableEntity},
+		{"unrealizable tree", "/v1/realize/tree", `{"sequence":[3,3,3,3]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, h, tc.path, tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("want %d, got %d: %s", tc.want, rec.Code, rec.Body.String())
+			}
+			if e := decodeInto[serve.ErrorResponse](t, rec); e.Error == "" {
+				t.Fatal("error responses must carry a message")
+			}
+		})
+	}
+}
+
+func TestRealizeOversizedN(t *testing.T) {
+	h := realServer(t) // MaxN: 64
+	seq := make([]string, 65)
+	for i := range seq {
+		seq[i] = "1"
+	}
+	body := fmt.Sprintf(`{"sequence":[%s]}`, strings.Join(seq, ","))
+	rec := post(t, h, "/v1/realize/degree", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized n must be 413, got %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestRealizeOversizedBody(t *testing.T) {
+	s := serve.New(serve.Config{Backend: graphrealize.NewRunner(1), MaxBodyBytes: 64})
+	h := s.Handler()
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[`+strings.Repeat("1,", 200)+`1]}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body must be 413, got %d", rec.Code)
+	}
+}
+
+func TestQueueFullMapsTo429(t *testing.T) {
+	fb := &fakeBackend{
+		submit: func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+			return nil, graphrealize.ErrQueueFull
+		},
+	}
+	h := serve.New(serve.Config{Backend: fb}).Handler()
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[1,1]}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full must be 429, got %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 must carry a Retry-After hint")
+	}
+}
+
+func TestJobTimeoutMapsTo504(t *testing.T) {
+	fb := &fakeBackend{
+		submit: func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+			return resultChan(graphrealize.Result{Job: j, Err: context.DeadlineExceeded}), nil
+		},
+	}
+	h := serve.New(serve.Config{Backend: fb}).Handler()
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[1,1]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("job timeout must be 504, got %d", rec.Code)
+	}
+}
+
+func TestCancellationMidJobMapsTo499(t *testing.T) {
+	// The backend sees the request context die mid-job and hands back the
+	// context's error, exactly as a real Runner does.
+	fb := &fakeBackend{
+		submit: func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+			ch := make(chan graphrealize.Result, 1)
+			go func() {
+				<-ctx.Done()
+				ch <- graphrealize.Result{Job: j, Err: ctx.Err()}
+			}()
+			return ch, nil
+		},
+	}
+	h := serve.New(serve.Config{Backend: fb}).Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/v1/realize/degree",
+		strings.NewReader(`{"sequence":[1,1]}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	cancel()
+	<-done
+	if rec.Code != serve.StatusClientClosedRequest {
+		t.Fatalf("abandoned job must map to 499, got %d", rec.Code)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	h := realServer(t)
+	body := `{"kind":"degrees","sequence":[3,3,2,2,2,2],"seed_count":3,"seed_start":10}`
+	rec := post(t, h, "/v1/sweep", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("want 200, got %d: %s", rec.Code, rec.Body.String())
+	}
+	resp := decodeInto[serve.SweepResponse](t, rec)
+	if resp.Seeds != 3 || len(resp.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %+v", resp)
+	}
+	for i, row := range resp.Rows {
+		if row.Seed != int64(10+i) || row.M != 7 || row.Stats.Rounds <= 0 {
+			t.Fatalf("row %d wrong: %+v", i, row)
+		}
+	}
+	if resp.RoundsMin > resp.RoundsMedian || resp.RoundsMedian > resp.RoundsMax {
+		t.Fatalf("round aggregates out of order: %+v", resp)
+	}
+
+	// The same sweep again is all cache hits.
+	rec = post(t, h, "/v1/sweep", body)
+	if resp := decodeInto[serve.SweepResponse](t, rec); resp.CacheHits != 3 {
+		t.Fatalf("repeat sweep must be served from the cache, got %d hits", resp.CacheHits)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	h := realServer(t)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"unknown kind", `{"kind":"matching","sequence":[1,1],"seed_count":1}`, http.StatusBadRequest},
+		{"no seeds", `{"kind":"degrees","sequence":[1,1]}`, http.StatusBadRequest},
+		{"too many seeds", `{"kind":"degrees","sequence":[1,1],"seed_count":9}`, http.StatusRequestEntityTooLarge},
+		{"absurd seed_count rejected before allocation", `{"kind":"degrees","sequence":[1,1],"seed_count":10000000000}`, http.StatusRequestEntityTooLarge},
+		{"unrealizable", `{"kind":"degrees","sequence":[3,3,1,1],"seed_count":2}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if rec := post(t, h, "/v1/sweep", tc.body); rec.Code != tc.want {
+				t.Fatalf("want %d, got %d: %s", tc.want, rec.Code, rec.Body.String())
+			}
+		})
+	}
+}
+
+func TestSweepQueueFullIsAtomic(t *testing.T) {
+	// A real Runner with capacity 2 (1 worker + 1 queue slot) cannot admit
+	// a 4-seed sweep: the sweep must come back 429 with nothing admitted,
+	// not a partial result.
+	r := graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{Workers: 1, Queue: 1})
+	h := serve.New(serve.Config{Backend: r}).Handler()
+	rec := post(t, h, "/v1/sweep", `{"kind":"degrees","sequence":[1,1],"seed_count":4}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep must be 429, got %d: %s", rec.Code, rec.Body.String())
+	}
+	if st := r.Stats(); st.Submitted != 0 || st.Rejected != 4 {
+		t.Fatalf("an unadmittable sweep must admit nothing: %+v", st)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	r := graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{Workers: 2, Queue: 5})
+	h := serve.New(serve.Config{Backend: r}).Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Push one job through so the counters move.
+	if res := <-r.Submit(graphrealize.Job{Kind: graphrealize.JobDegrees, Seq: []int{1, 1}}); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	st := decodeInto[serve.StatsResponse](t, rec)
+	if st.Workers != 2 || st.QueueLimit != 5 || st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("stats don't reflect the runner: %+v", st)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := realServer(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/realize/degree", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on a POST route must be 405, got %d", rec.Code)
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphrealize"
+)
+
+// types.go defines the service's JSON wire format and its mapping onto the
+// graphrealize facade types. The wire format is deliberately flat: every
+// field of Options and Stats is representable, sequences are plain integer
+// arrays, and graphs travel as (u < v) edge lists.
+
+// OptionsJSON mirrors graphrealize.Options with JSON-friendly enums.
+type OptionsJSON struct {
+	// Model is "ncc0" (default) or "ncc1".
+	Model string `json:"model,omitempty"`
+	// Seed makes the run deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Strict turns capacity violations into errors.
+	Strict bool `json:"strict,omitempty"`
+	// CapMul scales the per-round message budget.
+	CapMul int `json:"cap_mul,omitempty"`
+	// Sort is "oracle" (default), "oddeven", or "merge".
+	Sort string `json:"sort,omitempty"`
+	// MaxRounds aborts runaway protocols.
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+func (o *OptionsJSON) toOptions() (*graphrealize.Options, error) {
+	if o == nil {
+		return nil, nil
+	}
+	out := &graphrealize.Options{
+		Seed:      o.Seed,
+		Strict:    o.Strict,
+		CapMul:    o.CapMul,
+		MaxRounds: o.MaxRounds,
+	}
+	switch strings.ToLower(o.Model) {
+	case "", "ncc0":
+	case "ncc1":
+		out.Model = graphrealize.NCC1
+	default:
+		return nil, fmt.Errorf("unknown model %q (want ncc0 or ncc1)", o.Model)
+	}
+	switch strings.ToLower(o.Sort) {
+	case "", "oracle":
+	case "oddeven":
+		out.Sort = graphrealize.OddEvenSort
+	case "merge":
+		out.Sort = graphrealize.MergeSort
+	default:
+		return nil, fmt.Errorf("unknown sort %q (want oracle, oddeven, or merge)", o.Sort)
+	}
+	return out, nil
+}
+
+// StatsJSON mirrors graphrealize.Stats.
+type StatsJSON struct {
+	N             int   `json:"n"`
+	Rounds        int   `json:"rounds"`
+	ChargedRounds int   `json:"charged_rounds"`
+	Messages      int64 `json:"messages"`
+	Capacity      int   `json:"capacity"`
+	MaxSent       int   `json:"max_sent"`
+	MaxRecv       int   `json:"max_recv"`
+	CapViolations int   `json:"cap_violations"`
+	Phases        int   `json:"phases,omitempty"`
+}
+
+func statsJSON(s *graphrealize.Stats) StatsJSON {
+	if s == nil {
+		return StatsJSON{}
+	}
+	return StatsJSON{
+		N:             s.N,
+		Rounds:        s.Rounds,
+		ChargedRounds: s.ChargedRounds,
+		Messages:      s.Messages,
+		Capacity:      s.Capacity,
+		MaxSent:       s.MaxSent,
+		MaxRecv:       s.MaxRecv,
+		CapViolations: s.CapViolations,
+		Phases:        s.Phases,
+	}
+}
+
+// RealizeRequest is the body of POST /v1/realize/{alg}.
+type RealizeRequest struct {
+	// Sequence is the degree (or ρ) sequence to realize.
+	Sequence []int `json:"sequence"`
+	// Variant selects the algorithm flavour. degree: "implicit" (default),
+	// "explicit", or "envelope"; tree: "chain" (default) or "mindiam";
+	// connectivity: must be empty.
+	Variant string `json:"variant,omitempty"`
+	// Options tunes the simulation; nil selects the defaults.
+	Options *OptionsJSON `json:"options,omitempty"`
+	// OmitEdges drops the edge list from the response (stats only).
+	OmitEdges bool `json:"omit_edges,omitempty"`
+}
+
+// RealizeResponse is the body of a successful realization.
+type RealizeResponse struct {
+	Kind      string    `json:"kind"`
+	N         int       `json:"n"`
+	M         int       `json:"m"`
+	Edges     [][2]int  `json:"edges,omitempty"`
+	Envelope  []int     `json:"envelope,omitempty"`
+	Stats     StatsJSON `json:"stats"`
+	Cached    bool      `json:"cached"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: one sequence realized under
+// many seeds (the Barrus-style "many realizations of one sequence"
+// workload). Either Seeds lists them explicitly or SeedCount consecutive
+// seeds starting at SeedStart are used.
+type SweepRequest struct {
+	// Kind names the realization algorithm: "degrees", "degrees-explicit",
+	// "upper-envelope", "chain-tree", "min-diam-tree", or "connectivity"
+	// (aliases "degree", "tree", "mindiam", "envelope" are accepted).
+	Kind      string       `json:"kind"`
+	Sequence  []int        `json:"sequence"`
+	Seeds     []int64      `json:"seeds,omitempty"`
+	SeedCount int          `json:"seed_count,omitempty"`
+	SeedStart int64        `json:"seed_start,omitempty"`
+	Options   *OptionsJSON `json:"options,omitempty"`
+}
+
+// SweepRow is one seed's outcome inside a SweepResponse. A sweep fails as
+// a unit (realizability is seed-independent), so rows carry no error field.
+type SweepRow struct {
+	Seed   int64     `json:"seed"`
+	M      int       `json:"m"`
+	Stats  StatsJSON `json:"stats"`
+	Cached bool      `json:"cached"`
+}
+
+// SweepResponse aggregates a multi-seed sweep.
+type SweepResponse struct {
+	Kind         string     `json:"kind"`
+	N            int        `json:"n"`
+	Seeds        int        `json:"seeds"`
+	Rows         []SweepRow `json:"rows"`
+	RoundsMin    int        `json:"rounds_min"`
+	RoundsMedian int        `json:"rounds_median"`
+	RoundsMax    int        `json:"rounds_max"`
+	CacheHits    int        `json:"cache_hits"`
+	ElapsedMS    float64    `json:"elapsed_ms"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the Runner's counters plus
+// service-level facts.
+type StatsResponse struct {
+	UptimeS    float64 `json:"uptime_s"`
+	Workers    int     `json:"workers"`
+	QueueLimit int     `json:"queue_limit"`
+	Active     int     `json:"active"`
+	Queued     int     `json:"queued"`
+	Submitted  int64   `json:"submitted"`
+	Rejected   int64   `json:"rejected"`
+	Executed   int64   `json:"executed"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Canceled   int64   `json:"canceled"`
+	CacheHits  int64   `json:"cache_hits"`
+	CacheLen   int     `json:"cache_len"`
+	AvgWaitMS  float64 `json:"avg_wait_ms"`
+	AvgRunMS   float64 `json:"avg_run_ms"`
+}
+
+func statsResponse(rs graphrealize.RunnerStats, uptime time.Duration) StatsResponse {
+	resp := StatsResponse{
+		UptimeS:    uptime.Seconds(),
+		Workers:    rs.Workers,
+		QueueLimit: rs.QueueLimit,
+		Active:     rs.Active,
+		Queued:     rs.Queued,
+		Submitted:  rs.Submitted,
+		Rejected:   rs.Rejected,
+		Executed:   rs.Executed,
+		Completed:  rs.Completed,
+		Failed:     rs.Failed,
+		Canceled:   rs.Canceled,
+		CacheHits:  rs.CacheHits,
+		CacheLen:   rs.CacheLen,
+	}
+	// Average over jobs that actually acquired a worker — cache hits and
+	// queued-cancellations contribute no wait/run time and would dilute the
+	// figures capacity tuning relies on. Divide nanoseconds, not
+	// pre-truncated milliseconds: sub-ms waits must not report as 0.0.
+	if rs.Executed > 0 {
+		resp.AvgWaitMS = float64(rs.TotalWait.Nanoseconds()) / 1e6 / float64(rs.Executed)
+		resp.AvgRunMS = float64(rs.TotalRun.Nanoseconds()) / 1e6 / float64(rs.Executed)
+	}
+	return resp
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseKind resolves a SweepRequest.Kind string to a JobKind.
+func parseKind(s string) (graphrealize.JobKind, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "degree", "degrees", "implicit":
+		return graphrealize.JobDegrees, true
+	case "degree-explicit", "degrees-explicit", "explicit":
+		return graphrealize.JobDegreesExplicit, true
+	case "envelope", "upper-envelope":
+		return graphrealize.JobUpperEnvelope, true
+	case "tree", "chain-tree", "chain":
+		return graphrealize.JobChainTree, true
+	case "mindiam", "min-diam-tree", "mindiam-tree":
+		return graphrealize.JobMinDiamTree, true
+	case "connectivity":
+		return graphrealize.JobConnectivity, true
+	}
+	return 0, false
+}

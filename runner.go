@@ -1,19 +1,25 @@
 package graphrealize
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// runner.go is the batch service layer on top of the facade: a worker pool
-// that runs many independent realizations concurrently with bounded
-// parallelism, plus an LRU cache of completed results. Each simulation
-// already uses one goroutine per simulated node, but a single run spends
-// most of its wall clock blocked on the round barrier; running independent
-// jobs side by side is what actually saturates the hardware, which is why
-// sweeps (multi-seed, multi-n, multi-family) should go through a Runner
-// rather than a serial loop.
+// runner.go is the batch and serving layer on top of the facade: a worker
+// pool that runs many independent realizations concurrently with bounded
+// parallelism, an LRU cache of completed results, and — for network-facing
+// use — a bounded admission queue with backpressure, per-job deadlines, and
+// exported counters. Each simulation already uses one goroutine per
+// simulated node, but a single run spends most of its wall clock blocked on
+// the round barrier; running independent jobs side by side is what actually
+// saturates the hardware, which is why sweeps (multi-seed, multi-n,
+// multi-family) and HTTP traffic should go through a Runner rather than a
+// serial loop.
 
 // JobKind selects which realization entry point a Job invokes.
 type JobKind int
@@ -77,41 +83,298 @@ type Result struct {
 	Cached   bool
 }
 
+// ErrQueueFull is returned by SubmitCtx (and embedded in Submit's Result)
+// when a bounded Runner is saturated: all workers are busy and the waiting
+// queue is at capacity. Network callers should surface it as backpressure
+// (HTTP 429) rather than retrying immediately.
+var ErrQueueFull = errors.New("graphrealize: runner queue is full")
+
+// RunnerConfig tunes a serving Runner.
+type RunnerConfig struct {
+	// Workers bounds concurrently executing jobs (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Queue bounds jobs admitted but not yet executing. Negative means
+	// unbounded (the batch default used by NewRunner); zero means no waiting
+	// room: a job is only admitted when a worker is free.
+	Queue int
+	// JobTimeout, when positive, caps each job's execution time; a job that
+	// exceeds it fails with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// CacheSize overrides the result-cache capacity (0 = DefaultCacheSize).
+	CacheSize int
+}
+
 // Runner executes Jobs on a bounded worker pool with an LRU result cache.
 // A Runner is safe for concurrent use and needs no shutdown: an idle Runner
 // holds no goroutines.
 type Runner struct {
-	sem   chan struct{}
-	cache *resultCache
+	sem     chan struct{}
+	queue   int // configured queue bound (-1 = unbounded)
+	timeout time.Duration
+	cache   *resultCache
+
+	// Admission accounting: at most admitCap (= Workers+Queue) jobs hold a
+	// unit from admission to completion; admitCap < 0 means unbounded. A
+	// counter rather than a token channel so a batch can be admitted
+	// atomically (SubmitAllCtx).
+	admitMu  sync.Mutex
+	admitCap int
+	inFlight int
+
+	// exec is the job executor, swappable in tests; Execute otherwise.
+	exec func(context.Context, Job) Result
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	executed  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	queued    atomic.Int64
+	active    atomic.Int64
+	waitNanos atomic.Int64
+	runNanos  atomic.Int64
 }
 
 // DefaultCacheSize is the number of distinct (kind, sequence, options)
 // results a Runner retains.
 const DefaultCacheSize = 256
 
-// NewRunner creates a Runner that executes at most workers jobs at once.
+// NewRunner creates a batch Runner that executes at most workers jobs at
+// once and never rejects a submission (unbounded admission queue).
 // workers ≤ 0 selects GOMAXPROCS.
 func NewRunner(workers int) *Runner {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return NewRunnerConfig(RunnerConfig{Workers: workers, Queue: -1})
+}
+
+// NewRunnerConfig creates a Runner with explicit serving limits. The zero
+// RunnerConfig gives GOMAXPROCS workers, no waiting room, no job timeout,
+// and the default cache size.
+func NewRunnerConfig(cfg RunnerConfig) *Runner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{
-		sem:   make(chan struct{}, workers),
-		cache: newResultCache(DefaultCacheSize),
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
 	}
+	r := &Runner{
+		sem:      make(chan struct{}, cfg.Workers),
+		queue:    cfg.Queue,
+		timeout:  cfg.JobTimeout,
+		cache:    newResultCache(cfg.CacheSize),
+		admitCap: -1,
+	}
+	if cfg.Queue >= 0 {
+		// One admission unit per job in flight: Workers executing plus at
+		// most Queue waiting. A unit is held from admission to completion,
+		// so memory held by pending jobs is bounded.
+		r.admitCap = cfg.Workers + cfg.Queue
+	}
+	r.exec = Execute
+	return r
+}
+
+// tryAdmit reserves n admission units if they all fit, atomically.
+func (r *Runner) tryAdmit(n int) bool {
+	if r.admitCap < 0 {
+		return true
+	}
+	r.admitMu.Lock()
+	defer r.admitMu.Unlock()
+	if r.inFlight+n > r.admitCap {
+		return false
+	}
+	r.inFlight += n
+	return true
+}
+
+func (r *Runner) releaseAdmit(n int) {
+	if r.admitCap < 0 {
+		return
+	}
+	r.admitMu.Lock()
+	r.inFlight -= n
+	r.admitMu.Unlock()
 }
 
 // Submit enqueues one job and returns a channel that receives its Result
-// exactly once. Submission never blocks; execution waits for a free worker
-// slot.
+// exactly once. Submission never blocks; on a bounded, saturated Runner the
+// Result carries ErrQueueFull.
 func (r *Runner) Submit(j Job) <-chan Result {
+	out, err := r.SubmitCtx(context.Background(), j)
+	if err != nil {
+		ch := make(chan Result, 1)
+		ch <- Result{Job: j, Err: err}
+		return ch
+	}
+	return out
+}
+
+// SubmitCtx enqueues one job under a context and returns a channel that
+// receives its Result exactly once. It never blocks: a cached result is
+// delivered immediately without consuming any serving capacity, and on a
+// bounded Runner at capacity it returns ErrQueueFull immediately
+// (backpressure). The context cancels the job while queued or running; the
+// Runner's JobTimeout, if set, additionally bounds execution time. A Result
+// whose Err is the context's error was abandoned, not computed. By the time
+// the Result is receivable, the job's worker slot and admission unit have
+// been released: receive-then-resubmit never observes stale saturation.
+func (r *Runner) SubmitCtx(ctx context.Context, j Job) (<-chan Result, error) {
+	if out, ok := r.cachedFastPath(j); ok {
+		return out, nil
+	}
+	if !r.tryAdmit(1) {
+		r.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	return r.start(ctx, j), nil
+}
+
+// SubmitAllCtx admits a batch of jobs atomically: either every non-cached
+// job in the batch is admitted, or none is and ErrQueueFull is returned —
+// concurrent batches cannot partially admit and mutually starve each other.
+// Cached jobs are served without consuming capacity. Result channels are
+// returned in job order.
+func (r *Runner) SubmitAllCtx(ctx context.Context, jobs []Job) ([]<-chan Result, error) {
+	chans := make([]<-chan Result, len(jobs))
+	var misses []int
+	for i, j := range jobs {
+		if out, ok := r.cachedFastPath(j); ok {
+			chans[i] = out
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	if len(misses) > 0 && !r.tryAdmit(len(misses)) {
+		r.rejected.Add(int64(len(misses)))
+		return nil, ErrQueueFull
+	}
+	for _, i := range misses {
+		chans[i] = r.start(ctx, jobs[i])
+	}
+	return chans, nil
+}
+
+// cachedFastPath serves a job straight from the result cache, bypassing
+// admission and the worker pool. Cached results are immutable, so the only
+// work is a map lookup — a hit must never queue behind real jobs or be
+// rejected by a saturated Runner. Hits count only toward Submitted and
+// CacheHits: Completed/Failed track executions, and re-counting a cached
+// error on every hit would fabricate a failure spike.
+func (r *Runner) cachedFastPath(j Job) (<-chan Result, bool) {
+	res, hit := r.cache.get(j.cacheKey())
+	if !hit {
+		return nil, false
+	}
+	r.submitted.Add(1)
+	r.cacheHits.Add(1)
+	res.Job = j
+	res.Cached = true
+	out := make(chan Result, 1)
+	out <- res
+	return out, true
+}
+
+// start launches one job that already holds an admission unit. The
+// admission unit is released before the Result becomes receivable.
+func (r *Runner) start(ctx context.Context, j Job) <-chan Result {
+	r.submitted.Add(1)
+	r.queued.Add(1)
+	enqueued := time.Now()
 	out := make(chan Result, 1)
 	go func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		out <- r.run(j)
+		res := r.executeAdmitted(ctx, j, enqueued)
+		r.releaseAdmit(1)
+		out <- res
 	}()
 	return out
+}
+
+// executeAdmitted waits for a worker slot and runs the job; the slot is
+// released (via defer) before the caller delivers the Result.
+func (r *Runner) executeAdmitted(ctx context.Context, j Job, enqueued time.Time) Result {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		r.queued.Add(-1)
+		r.canceled.Add(1)
+		return Result{Job: j, Err: ctx.Err()}
+	}
+	r.queued.Add(-1)
+	r.active.Add(1)
+	r.executed.Add(1)
+	r.waitNanos.Add(time.Since(enqueued).Nanoseconds())
+	defer func() {
+		<-r.sem
+		r.active.Add(-1)
+	}()
+	jctx := ctx
+	if r.timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, r.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res := r.run(jctx, j)
+	r.runNanos.Add(time.Since(start).Nanoseconds())
+	r.countOutcome(res.Err)
+	return res
+}
+
+func (r *Runner) countOutcome(err error) {
+	switch {
+	case err == nil:
+		r.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		r.canceled.Add(1)
+	default:
+		r.failed.Add(1)
+	}
+}
+
+// RunnerStats is a point-in-time snapshot of a Runner's counters.
+type RunnerStats struct {
+	Workers    int // worker-pool size
+	QueueLimit int // admission queue bound (-1 = unbounded)
+
+	Active int // jobs executing right now
+	Queued int // jobs admitted and waiting for a worker
+
+	Submitted int64 // submissions accepted (including cache-served)
+	Rejected  int64 // submissions refused with ErrQueueFull
+	Executed  int64 // jobs that acquired a worker (the latency denominators)
+	Completed int64 // executed jobs that finished without error
+	Failed    int64 // executed jobs that finished with a non-cancellation error
+	Canceled  int64 // jobs abandoned by context cancellation or timeout
+	CacheHits int64 // submissions served from the result cache
+
+	CacheLen int // distinct results currently cached
+
+	TotalWait time.Duration // cumulative time jobs spent queued
+	TotalRun  time.Duration // cumulative time jobs spent executing
+}
+
+// Stats returns a consistent-enough snapshot of the Runner's counters for
+// monitoring; individual fields are loaded atomically but not as one
+// transaction.
+func (r *Runner) Stats() RunnerStats {
+	return RunnerStats{
+		Workers:    cap(r.sem),
+		QueueLimit: r.queue,
+		Active:     int(r.active.Load()),
+		Queued:     int(r.queued.Load()),
+		Submitted:  r.submitted.Load(),
+		Rejected:   r.rejected.Load(),
+		Executed:   r.executed.Load(),
+		Completed:  r.completed.Load(),
+		Failed:     r.failed.Load(),
+		Canceled:   r.canceled.Load(),
+		CacheHits:  r.cacheHits.Load(),
+		CacheLen:   r.cache.len(),
+		TotalWait:  time.Duration(r.waitNanos.Load()),
+		TotalRun:   time.Duration(r.runNanos.Load()),
+	}
 }
 
 // RealizeAll runs all jobs with the Runner's bounded parallelism and returns
@@ -144,34 +407,41 @@ func SweepSeeds(base Job, seeds []int64) []Job {
 	return jobs
 }
 
-func (r *Runner) run(j Job) Result {
+func (r *Runner) run(ctx context.Context, j Job) Result {
 	key := j.cacheKey()
 	if res, hit := r.cache.get(key); hit {
+		r.cacheHits.Add(1)
 		res.Job = j
 		res.Cached = true
 		return res
 	}
-	res := executeJob(j)
-	r.cache.put(key, res)
+	res := r.exec(ctx, j)
+	// Deterministic outcomes (including ErrUnrealizable / ErrBadInput) are
+	// cacheable; an abandoned run is not — the next requester must compute it.
+	if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded) {
+		r.cache.put(key, res)
+	}
 	return res
 }
 
-// executeJob dispatches a job to the facade entry point for its kind.
-func executeJob(j Job) Result {
+// Execute dispatches one job to the facade entry point for its kind,
+// honouring ctx: cancellation or deadline expiry aborts the simulation
+// between rounds and yields a Result whose Err is the context's error.
+func Execute(ctx context.Context, j Job) Result {
 	res := Result{Job: j}
 	switch j.Kind {
 	case JobDegrees:
-		res.Graph, res.Stats, res.Err = RealizeDegrees(j.Seq, j.Opt)
+		res.Graph, res.Stats, res.Err = realizeDegrees(ctx, j.Seq, j.Opt, false)
 	case JobDegreesExplicit:
-		res.Graph, res.Stats, res.Err = RealizeDegreesExplicit(j.Seq, j.Opt)
+		res.Graph, res.Stats, res.Err = realizeDegrees(ctx, j.Seq, j.Opt, true)
 	case JobUpperEnvelope:
-		res.Graph, res.Envelope, res.Stats, res.Err = RealizeUpperEnvelope(j.Seq, j.Opt)
+		res.Graph, res.Envelope, res.Stats, res.Err = realizeEnvelope(ctx, j.Seq, j.Opt)
 	case JobChainTree:
-		res.Graph, res.Stats, res.Err = RealizeTree(j.Seq, j.Opt)
+		res.Graph, res.Stats, res.Err = realizeTree(ctx, j.Seq, j.Opt, false)
 	case JobMinDiamTree:
-		res.Graph, res.Stats, res.Err = RealizeMinDiameterTree(j.Seq, j.Opt)
+		res.Graph, res.Stats, res.Err = realizeTree(ctx, j.Seq, j.Opt, true)
 	case JobConnectivity:
-		res.Graph, res.Stats, res.Err = RealizeConnectivity(j.Seq, j.Opt)
+		res.Graph, res.Stats, res.Err = realizeConnectivity(ctx, j.Seq, j.Opt)
 	default:
 		res.Err = fmt.Errorf("graphrealize: unknown JobKind %d", int(j.Kind))
 	}
@@ -222,6 +492,12 @@ type cacheEntry struct {
 
 func newResultCache(limit int) *resultCache {
 	return &resultCache{limit: limit, m: make(map[cacheKey]*cacheEntry, limit)}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 func (c *resultCache) get(k cacheKey) (Result, bool) {

@@ -1,8 +1,11 @@
 package graphrealize
 
 import (
+	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunnerMatchesSequential(t *testing.T) {
@@ -138,6 +141,227 @@ func TestSweepSeedsDeterminism(t *testing.T) {
 		if a[i].Stats.Rounds != b[i].Stats.Rounds || a[i].Stats.Messages != b[i].Stats.Messages {
 			t.Fatalf("seed %d: results depend on worker count", seeds[i])
 		}
+	}
+}
+
+// blockingExec installs a test executor that parks every job until release
+// is closed (or its context dies) and counts invocations.
+func blockingExec(r *Runner, release chan struct{}) *atomic.Int64 {
+	var calls atomic.Int64
+	r.exec = func(ctx context.Context, j Job) Result {
+		calls.Add(1)
+		select {
+		case <-release:
+			return Result{Job: j}
+		case <-ctx.Done():
+			return Result{Job: j, Err: ctx.Err()}
+		}
+	}
+	return &calls
+}
+
+// distinctJob returns jobs with distinct cache keys so the cache never
+// short-circuits the admission path under test.
+func distinctJob(seed int64) Job {
+	return Job{Kind: JobDegrees, Seq: []int{1, 1}, Opt: &Options{Seed: seed}}
+}
+
+func TestRunnerBackpressure(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 1})
+	release := make(chan struct{})
+	blockingExec(r, release)
+
+	// Job 1 occupies the worker, job 2 the single queue slot.
+	ch1, err := r.SubmitCtx(context.Background(), distinctJob(1))
+	if err != nil {
+		t.Fatalf("job 1 must be admitted: %v", err)
+	}
+	ch2, err := r.SubmitCtx(context.Background(), distinctJob(2))
+	if err != nil {
+		t.Fatalf("job 2 must be admitted: %v", err)
+	}
+	// Job 3 must be rejected immediately, not queued or blocked.
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated runner must reject with ErrQueueFull, got %v", err)
+	}
+	// The compat Submit path embeds the same rejection in the Result.
+	if res := <-r.Submit(distinctJob(4)); !errors.Is(res.Err, ErrQueueFull) {
+		t.Fatalf("Submit on a saturated runner must carry ErrQueueFull, got %v", res.Err)
+	}
+	st := r.Stats()
+	if st.Rejected != 2 || st.Submitted != 2 {
+		t.Fatalf("want 2 admitted / 2 rejected, got %+v", st)
+	}
+
+	// Draining the pool frees capacity for new submissions.
+	close(release)
+	if res := <-ch1; res.Err != nil {
+		t.Fatalf("job 1: %v", res.Err)
+	}
+	if res := <-ch2; res.Err != nil {
+		t.Fatalf("job 2: %v", res.Err)
+	}
+	ch5, err := r.SubmitCtx(context.Background(), distinctJob(5))
+	if err != nil {
+		t.Fatalf("drained runner must admit again: %v", err)
+	}
+	if res := <-ch5; res.Err != nil {
+		t.Fatalf("job 5: %v", res.Err)
+	}
+	st = r.Stats()
+	if st.Completed != 3 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("final stats wrong: %+v", st)
+	}
+}
+
+func TestRunnerQueuedJobCancellation(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 1})
+	release := make(chan struct{})
+	blockingExec(r, release)
+	defer close(release)
+
+	ch1, err := r.SubmitCtx(context.Background(), distinctJob(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ch1
+	ctx, cancel := context.WithCancel(context.Background())
+	ch2, err := r.SubmitCtx(ctx, distinctJob(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	res := <-ch2
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("canceled queued job must return context.Canceled, got %v", res.Err)
+	}
+	// Receiving the Result guarantees the admission unit was released, so a
+	// new submission fits in the freed queue slot immediately.
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(3)); err != nil {
+		t.Fatalf("admission unit of the canceled job not released: %v", err)
+	}
+	if got := r.Stats().Canceled; got != 1 {
+		t.Fatalf("want 1 canceled, got %d", got)
+	}
+}
+
+func TestRunnerSubmitAllAtomicAdmission(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 2}) // capacity 3
+	release := make(chan struct{})
+	blockingExec(r, release)
+
+	// A 2-job batch fits; a second 2-job batch needs 2 of the 1 remaining
+	// unit and must be rejected whole, leaving its capacity untouched.
+	first, err := r.SubmitAllCtx(context.Background(), []Job{distinctJob(1), distinctJob(2)})
+	if err != nil {
+		t.Fatalf("2-job batch must fit in capacity 3: %v", err)
+	}
+	if _, err := r.SubmitAllCtx(context.Background(), []Job{distinctJob(3), distinctJob(4)}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("batch exceeding remaining capacity must reject whole, got %v", err)
+	}
+	if st := r.Stats(); st.Submitted != 2 || st.Rejected != 2 {
+		t.Fatalf("rejected batch must admit nothing: %+v", st)
+	}
+	// The single remaining unit is still available to a smaller submission.
+	ch5, err := r.SubmitCtx(context.Background(), distinctJob(5))
+	if err != nil {
+		t.Fatalf("rejected batch must not consume capacity: %v", err)
+	}
+	close(release)
+	for i, ch := range append(first, ch5) {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+	}
+}
+
+func TestRunnerCachedJobsBypassAdmission(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 0})
+	release := make(chan struct{})
+	blockingExec(r, release)
+	defer close(release)
+
+	j := distinctJob(7)
+	r.cache.put(j.cacheKey(), Result{Job: j})
+
+	// Saturate the runner (capacity 1) with a non-cached job.
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("runner must be saturated, got %v", err)
+	}
+	// The cached job is still served instantly, bypassing admission.
+	ch, err := r.SubmitCtx(context.Background(), j)
+	if err != nil {
+		t.Fatalf("cached job must bypass admission: %v", err)
+	}
+	if res := <-ch; !res.Cached || res.Err != nil {
+		t.Fatalf("want an instant cached result, got %+v", res)
+	}
+	if st := r.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cache hit not counted: %+v", st)
+	}
+}
+
+func TestRunnerJobTimeout(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: -1, JobTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	calls := blockingExec(r, release)
+	defer close(release)
+
+	res := <-r.Submit(distinctJob(1))
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("overrunning job must time out with DeadlineExceeded, got %v", res.Err)
+	}
+	if got := r.Stats().Canceled; got != 1 {
+		t.Fatalf("timeouts must count as canceled, got %d", got)
+	}
+	// Abandoned results must not be cached: the same job resubmitted runs
+	// the executor again (and times out again).
+	res = <-r.Submit(distinctJob(1))
+	if res.Cached {
+		t.Fatal("timed-out result must not be served from the cache")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("executor must run twice, ran %d times", got)
+	}
+}
+
+func TestRunnerCancellationReachesEngine(t *testing.T) {
+	// No executor stub here: a pre-canceled context must stop a real
+	// simulation between rounds and surface the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Execute(ctx, Job{Kind: JobDegrees, Seq: []int{3, 3, 2, 2, 2, 2}})
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("want context.Canceled from the engine, got %v", res.Err)
+	}
+}
+
+func TestRunnerStatsLatencyAndCacheCounters(t *testing.T) {
+	r := NewRunner(2)
+	j := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 3}}
+	if res := <-r.Submit(j); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := <-r.Submit(j); !res.Cached {
+		t.Fatal("second submission must hit the cache")
+	}
+	st := r.Stats()
+	if st.CacheHits != 1 || st.CacheLen != 1 {
+		t.Fatalf("cache counters wrong: %+v", st)
+	}
+	// Completed/Executed track executions; the cache-served submission
+	// counts only toward Submitted and CacheHits.
+	if st.Submitted != 2 || st.Executed != 1 || st.Completed != 1 {
+		t.Fatalf("throughput counters wrong: %+v", st)
+	}
+	if st.TotalRun <= 0 {
+		t.Fatalf("TotalRun must accumulate, got %v", st.TotalRun)
+	}
+	if st.QueueLimit != -1 {
+		t.Fatalf("batch runner must report an unbounded queue, got %d", st.QueueLimit)
 	}
 }
 
