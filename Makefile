@@ -27,7 +27,7 @@ MIX         ?= degree,tree,connectivity
 BASE        ?= main
 BENCH_ARGS  := -run '^$$' -bench . -benchtime 3x -count 5 .
 
-.PHONY: build test race bench sweep tables vet fmt-check serve loadgen bench-compare clean
+.PHONY: build test race bench sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/ncc/ ./internal/serve/ .
+	$(GO) test -race ./internal/ncc/ ./internal/jobs/ ./internal/serve/ .
 
 # Pipe consecutive runs into benchstat to compare engine changes; the
 # delivery/barrier benchmarks track allocs/op, the batch benchmark the
@@ -64,6 +64,11 @@ serve:
 
 loadgen:
 	$(GO) run ./cmd/grloadgen -addr http://$(ADDR) -c $(CONC) -requests $(REQS) -mix $(MIX)
+
+# Same traffic, but every other mix cycle goes through the async job API
+# (submit/poll/stream/cancel) and reports end-to-end job latency.
+loadgen-async:
+	$(GO) run ./cmd/grloadgen -addr http://$(ADDR) -c $(CONC) -requests $(REQS) -mix $(MIX) -async
 
 # Bench HEAD against BASE (default: main) with the exact commands and gate
 # the CI bench-regression job uses. Requires a clean worktree for BASE.

@@ -9,14 +9,21 @@
 //	grloadgen                                              # 16 conns, 200 reqs
 //	grloadgen -c 64 -requests 500 -mix degree,tree,connectivity
 //	grloadgen -mix degree:3,sweep:1 -n 96 -edges
+//	grloadgen -async -requests 200                         # exercise /v1/jobs
 //
 // Mix entries are scenario[:weight] with scenarios degree, tree,
-// connectivity, and sweep. The exit status is non-zero if any request fails,
-// so the tool doubles as a CI end-to-end check.
+// connectivity, and sweep. With -async, every other request is driven
+// through the asynchronous job API instead of the blocking endpoints —
+// rotating across submit→poll, submit→SSE-stream, and submit→cancel flows —
+// and reported as separate scenario+async rows, so end-to-end job latency
+// lands in the same table as the sync latencies. The exit status is non-zero
+// if any request fails, so the tool doubles as a CI end-to-end check.
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,12 +39,16 @@ import (
 	"time"
 
 	"graphrealize/internal/gen"
+	"graphrealize/internal/jobs"
 )
 
 type scenario struct {
 	name string
 	path string
 	body func(n int, seed int64) any
+	// job builds the POST /v1/jobs body for the async flows; nil means the
+	// scenario has no async form (sweep) and always runs synchronously.
+	job func(n int, seed int64) any
 }
 
 func scenarios(variantEvery int) map[string]scenario {
@@ -56,6 +67,17 @@ func scenarios(variantEvery int) map[string]scenario {
 					"options":  map[string]any{"seed": seed},
 				}
 			},
+			job: func(n int, seed int64) any {
+				kind := "degrees"
+				if variantEvery > 0 && seed%int64(variantEvery) == 0 {
+					kind = "degrees-explicit"
+				}
+				return map[string]any{
+					"kind":     kind,
+					"sequence": gen.FromRandomGraph(n, 8.0/float64(n), seed),
+					"options":  map[string]any{"seed": seed},
+				}
+			},
 		},
 		"tree": {
 			name: "tree",
@@ -71,12 +93,30 @@ func scenarios(variantEvery int) map[string]scenario {
 					"options":  map[string]any{"seed": seed},
 				}
 			},
+			job: func(n int, seed int64) any {
+				kind := "chain-tree"
+				if seed%2 == 0 {
+					kind = "min-diam-tree"
+				}
+				return map[string]any{
+					"kind":     kind,
+					"sequence": gen.TreeSequence(n, seed),
+					"options":  map[string]any{"seed": seed},
+				}
+			},
 		},
 		"connectivity": {
 			name: "connectivity",
 			path: "/v1/realize/connectivity",
 			body: func(n int, seed int64) any {
 				return map[string]any{
+					"sequence": gen.UniformRho(n, 4, seed),
+					"options":  map[string]any{"seed": seed, "model": "ncc1"},
+				}
+			},
+			job: func(n int, seed int64) any {
+				return map[string]any{
+					"kind":     "connectivity",
 					"sequence": gen.UniformRho(n, 4, seed),
 					"options":  map[string]any{"seed": seed, "model": "ncc1"},
 				}
@@ -112,6 +152,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "first per-request seed")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
+	async := flag.Bool("async", false, "drive every other request through the async job API (submit/poll/stream/cancel)")
 	flag.Parse()
 
 	if *requests <= 0 || *conc <= 0 {
@@ -171,9 +212,15 @@ func main() {
 					return
 				}
 				sc := slots[i%int64(len(slots))]
-				// Index sizes by the mix cycle count so scenario and size
-				// decorrelate even when len(slots) == len(sizes).
-				nn := sizes[(i/int64(len(slots)))%int64(len(sizes))]
+				// Index sizes (and the async split) by the mix cycle count so
+				// scenario, size, and sync/async mode all decorrelate even
+				// when len(slots) == len(sizes).
+				cycle := i / int64(len(slots))
+				nn := sizes[cycle%int64(len(sizes))]
+				if *async && sc.job != nil && cycle%2 == 1 {
+					results[w] = append(results[w], runAsync(client, base, sc, nn, *seed+i, cycle, *timeout, *edges))
+					continue
+				}
 				body := sc.body(nn, *seed+i)
 				if m, ok := body.(map[string]any); ok && !*edges && sc.name != "sweep" {
 					m["omit_edges"] = true
@@ -289,6 +336,189 @@ func fetchStats(client *http.Client, base string) {
 		fmt.Printf("server: submitted=%d rejected=%d cache_hits=%d avg_wait=%.1fms avg_run=%.1fms\n",
 			st.Submitted, st.Rejected, st.CacheHits, st.AvgWaitMS, st.AvgRunMS)
 	}
+}
+
+// jobView is the slice of the job JSON the async flows need.
+type jobView struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Round int    `json:"round"`
+	Error string `json:"error"`
+}
+
+// terminalState resolves a wire state against the jobs package's own
+// lifecycle vocabulary, so this client cannot fall out of sync with the
+// server when states are added.
+func terminalState(s string) bool {
+	st, ok := jobs.ParseState(s)
+	return ok && st.Terminal()
+}
+
+// runAsync drives one request through the asynchronous job API and reports
+// the end-to-end latency from submission to observed terminal state. The
+// flow rotates deterministically over the (odd, async) mix cycles: half
+// submit→poll, 3/8 submit→stream SSE progress (asserting monotone rounds),
+// and 1/8 submit→cancel (accepting "canceled", or "done" if the job won the
+// race). Like the sync path, result payloads omit edge lists unless -edges.
+func runAsync(client *http.Client, base string, sc scenario, n int, seed, cycle int64, timeout time.Duration, edges bool) sample {
+	name := sc.name + "+async"
+	payload, err := json.Marshal(sc.job(n, seed))
+	if err != nil {
+		return sample{scenario: name, err: err.Error()}
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return sample{scenario: name, err: err.Error()}
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return sample{scenario: name, latency: time.Since(t0),
+			err: fmt.Sprintf("submit HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))}
+	}
+	var job jobView
+	if err := json.Unmarshal(msg, &job); err != nil || job.ID == "" {
+		return sample{scenario: name, latency: time.Since(t0), err: fmt.Sprintf("bad submit body %q", msg)}
+	}
+
+	deadline := time.Now().Add(timeout)
+	if timeout <= 0 {
+		deadline = time.Now().Add(24 * time.Hour) // -timeout 0: effectively unbounded
+	}
+	var final jobView
+	var flowErr error
+	wantCanceled := false
+	switch {
+	case cycle%16 == 15:
+		wantCanceled = true
+		final, flowErr = cancelFlow(client, base, job.ID, deadline, edges)
+	case cycle%4 == 3:
+		final, flowErr = streamFlow(client, base, job.ID, deadline)
+	default:
+		final, flowErr = pollFlow(client, base, job.ID, deadline, edges)
+	}
+	s := sample{scenario: name, latency: time.Since(t0)}
+	switch {
+	case flowErr != nil:
+		s.err = flowErr.Error()
+	case final.State == "done":
+	case wantCanceled && final.State == "canceled":
+	default:
+		s.err = fmt.Sprintf("job ended %s: %s", final.State, final.Error)
+	}
+	return s
+}
+
+// pollFlow GETs the job until a terminal state.
+func pollFlow(client *http.Client, base, id string, deadline time.Time, edges bool) (jobView, error) {
+	url := base + "/v1/jobs/" + id
+	if !edges {
+		url += "?omit_edges=1"
+	}
+	// Exponential backoff keeps latency resolution for short jobs without a
+	// sustained poll storm perturbing the latencies under measurement.
+	wait := 5 * time.Millisecond
+	for {
+		resp, err := client.Get(url)
+		if err != nil {
+			return jobView{}, err
+		}
+		// Read the whole body: a done job's -edges payload can exceed any
+		// fixed cap, and a truncated document would fail to parse.
+		msg, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return jobView{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return jobView{}, fmt.Errorf("poll HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+		var job jobView
+		if err := json.Unmarshal(msg, &job); err != nil {
+			return jobView{}, fmt.Errorf("bad poll body: %v", err)
+		}
+		if terminalState(job.State) {
+			return job, nil
+		}
+		if time.Now().After(deadline) {
+			return job, fmt.Errorf("job %s still %s at deadline", id, job.State)
+		}
+		time.Sleep(wait)
+		if wait *= 2; wait > 250*time.Millisecond {
+			wait = 250 * time.Millisecond
+		}
+	}
+}
+
+// streamFlow consumes the SSE event stream to the terminal event, checking
+// that reported rounds never regress. The deadline bounds the whole stream
+// even when the HTTP client itself has no timeout (-timeout 0).
+func streamFlow(client *http.Client, base, id string, deadline time.Time) (jobView, error) {
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return jobView{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return jobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobView{}, fmt.Errorf("events HTTP %d", resp.StatusCode)
+	}
+	var last jobView
+	lastRound := -1
+	sawEvent := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobView
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return jobView{}, fmt.Errorf("bad event payload: %v", err)
+		}
+		if ev.Round < lastRound {
+			return jobView{}, fmt.Errorf("progress went backwards: round %d after %d", ev.Round, lastRound)
+		}
+		lastRound = ev.Round
+		last = ev
+		sawEvent = true
+		if terminalState(ev.State) {
+			return last, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return jobView{}, err
+	}
+	if !sawEvent {
+		return jobView{}, fmt.Errorf("event stream for %s ended without events", id)
+	}
+	return last, fmt.Errorf("event stream for %s ended before a terminal event (last %s)", id, last.State)
+}
+
+// cancelFlow cancels the job and waits for it to settle. The job may finish
+// before the DELETE lands; the caller accepts done as well as canceled.
+func cancelFlow(client *http.Client, base, id string, deadline time.Time, edges bool) (jobView, error) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return jobView{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return jobView{}, err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return jobView{}, fmt.Errorf("cancel HTTP %d", resp.StatusCode)
+	}
+	return pollFlow(client, base, id, deadline, edges)
 }
 
 // pct returns the p-th percentile of an ascending latency slice.

@@ -1,15 +1,19 @@
 // Command grserved serves graph realizations over HTTP: the facade's
 // algorithms (§4–§6 of the paper) behind a sharded Runner with a bounded
-// admission queue, per-job deadlines, and a result cache. See internal/serve
-// for the API and README.md for curl examples.
+// admission queue, per-job deadlines, and a result cache, plus an
+// asynchronous job API (submit → poll/stream → cancel) for realizations too
+// long to hold a connection open. See internal/serve for the API and
+// README.md for curl examples.
 //
 // Usage:
 //
 //	grserved                                  # :8080, GOMAXPROCS workers
 //	grserved -addr :9090 -workers 8 -queue 64
 //	grserved -job-timeout 10s -max-n 2048 -quiet
+//	grserved -job-ttl 2m -job-gc 15s -max-jobs 1024
 //
-// The server drains in-flight requests on SIGINT/SIGTERM and exits 0.
+// The server drains in-flight requests and async jobs on SIGINT/SIGTERM and
+// exits 0.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/jobs"
 	"graphrealize/internal/serve"
 )
 
@@ -36,6 +41,10 @@ func main() {
 	maxN := flag.Int("max-n", 4096, "largest accepted sequence length")
 	maxSeeds := flag.Int("max-seeds", 64, "largest accepted sweep seed count")
 	cacheSize := flag.Int("cache", graphrealize.DefaultCacheSize, "result-cache capacity")
+	asyncTimeout := flag.Duration("async-job-timeout", 15*time.Minute, "per-job deadline for async jobs (0 = same as -job-timeout, negative = none)")
+	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "async job retention after completion")
+	jobGC := flag.Duration("job-gc", 0, "async job GC sweep interval (0 = job-ttl/4, capped at 30s)")
+	maxJobs := flag.Int("max-jobs", 4096, "retained async job records before eviction/backpressure")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
@@ -47,8 +56,16 @@ func main() {
 		JobTimeout: *jobTimeout,
 		CacheSize:  *cacheSize,
 	})
+	manager := jobs.New(jobs.Config{
+		Backend:    runner,
+		Retention:  *jobTTL,
+		GCInterval: *jobGC,
+		MaxJobs:    *maxJobs,
+		JobTimeout: *asyncTimeout,
+	})
 	cfg := serve.Config{
 		Backend:  runner,
+		Jobs:     manager,
 		MaxN:     *maxN,
 		MaxSeeds: *maxSeeds,
 	}
@@ -67,8 +84,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d)",
-		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN)
+	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d job-ttl=%s)",
+		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN, *jobTTL)
 	if *workers <= 0 {
 		logger.Printf("worker pool sized to GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
 	}
@@ -79,16 +96,27 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	// One drain budget covers the HTTP listener and the job manager, drained
+	// concurrently: an open SSE stream only ends when its job terminates, so
+	// draining the manager strictly after srv.Shutdown would deadlock until
+	// the budget expired and then force-cancel jobs that could have finished
+	// in time.
 	logger.Printf("shutting down, draining for up to %s", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- manager.Close(shutdownCtx) }()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		logger.Fatalf("shutdown: %v", err)
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-drainDone; err != nil {
+		logger.Printf("async drain forced cancellation: %v", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatalf("serve: %v", err)
 	}
 	st := runner.Stats()
-	logger.Printf("drained: %d completed, %d cache hits, %d rejected, %d failed",
-		st.Completed, st.CacheHits, st.Rejected, st.Failed)
+	js := manager.StatsSnapshot()
+	logger.Printf("drained: %d completed, %d cache hits, %d rejected, %d failed; async: %d retained, %d evicted",
+		st.Completed, st.CacheHits, st.Rejected, st.Failed, js.Retained, js.Evictions)
 }

@@ -77,6 +77,13 @@ type Options struct {
 	Sort SortMethod
 	// MaxRounds aborts runaway protocols (default 50M).
 	MaxRounds int
+	// Progress, when non-nil, receives (rounds completed, messages delivered)
+	// at every round barrier of the run — the hook long-running services use
+	// to stream round-level progress. It is invoked from the simulation's
+	// driver goroutine and must be fast and non-blocking. Progress does not
+	// affect the result and is excluded from Runner cache keys: a job served
+	// from the cache completes without any progress callbacks.
+	Progress func(round, msgs int)
 }
 
 // Stats reports the cost of a run in the NCC model's currency.
@@ -216,6 +223,7 @@ func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config 
 		MaxRounds: o.MaxRounds,
 		Inputs:    inputs,
 		Stop:      ctx.Done(),
+		Progress:  o.Progress,
 	}
 }
 

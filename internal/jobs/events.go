@@ -1,0 +1,90 @@
+package jobs
+
+// events.go is the subscriber side of progress streaming. The engine's
+// driver goroutine posts coalescing wake-ups (record.notifyAll); each
+// subscription runs a pump goroutine that turns wake-ups into a deduplicated
+// stream of Events built from state snapshots. Because events are derived
+// from snapshots rather than queued by the producer, a slow consumer can
+// only ever skip intermediate progress — never the terminal transition — and
+// the engine never blocks on a subscriber.
+
+import "sync"
+
+// Event is one entry in a job's event stream. Progress events carry the
+// rounds/messages watermark; the final event has Terminal set and reflects
+// the job's terminal state.
+type Event struct {
+	JobID    string
+	State    State
+	Round    int
+	Messages int
+	Terminal bool
+	Err      string // terminal failure/cancellation detail, "" otherwise
+}
+
+// eventOf projects a snapshot onto the wire event.
+func eventOf(snap Snapshot) Event {
+	ev := Event{
+		JobID:    snap.ID,
+		State:    snap.State,
+		Round:    snap.Round,
+		Messages: snap.Messages,
+		Terminal: snap.State.Terminal(),
+	}
+	if snap.Err != nil {
+		ev.Err = snap.Err.Error()
+	}
+	return ev
+}
+
+// Subscribe opens an event stream for a job: the current state immediately,
+// then every observable change until a terminal event, after which the
+// channel is closed. The returned cancel function detaches the subscription
+// (safe to call multiple times, and required even after the channel closes).
+// Subscribing to an already-terminal job yields exactly its terminal event.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	rec, ok := m.store.get(id)
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	sig := make(chan struct{}, 1)
+	rec.addSub(sig)
+	m.subscribers.Add(1)
+	stop := make(chan struct{})
+	out := make(chan Event)
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+	go func() {
+		defer func() {
+			rec.removeSub(sig)
+			m.subscribers.Add(-1)
+			close(out)
+		}()
+		var last Event
+		first := true
+		for {
+			ev := eventOf(rec.snapshot())
+			if first || ev != last {
+				select {
+				case out <- ev:
+					last, first = ev, false
+				case <-stop:
+					return
+				}
+			}
+			if ev.Terminal {
+				return
+			}
+			select {
+			case <-sig:
+			case <-stop:
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	return out, cancel, nil
+}

@@ -1,0 +1,328 @@
+// Package jobs is the asynchronous job subsystem between the graphrealize
+// Runner and the HTTP service: fire-and-poll realizations for workloads that
+// outlive any one connection (large n, NCC0 connectivity's O~(Δ) rounds,
+// multi-seed families).
+//
+// A Manager wraps Runner.SubmitCtx with server-generated job IDs, a
+// lifecycle state machine (queued → running → done | failed | canceled →
+// expired), round-level progress snapshots fed by the engine's per-barrier
+// hook (ncc.Config.Progress, threaded through Options.Progress), coalescing
+// subscriber fan-out for event streams, bounded retention with two-phase
+// TTL garbage collection, and graceful drain on shutdown. Jobs run under a
+// manager-owned context, so they survive the submitting connection closing
+// and stop only via Cancel or drain — in both cases the engine unwinds at
+// its next round barrier (ncc.ErrCanceled) and the job lands in
+// StateCanceled.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphrealize"
+)
+
+// Errors returned by the Manager's entry points.
+var (
+	// ErrNotFound reports an unknown (or already garbage-collected) job ID.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrShuttingDown reports a submission during drain.
+	ErrShuttingDown = errors.New("jobs: manager is shutting down")
+	// ErrTooManyJobs reports that the retention cap is full of live jobs —
+	// backpressure, like the Runner's ErrQueueFull.
+	ErrTooManyJobs = errors.New("jobs: retained job limit reached")
+)
+
+// Backend is the slice of the graphrealize.Runner API the Manager needs; an
+// interface so tests can script admission and execution deterministically.
+type Backend interface {
+	SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	Stats() graphrealize.RunnerStats
+}
+
+// Config assembles a Manager.
+type Config struct {
+	// Backend executes jobs; typically a *graphrealize.Runner.
+	Backend Backend
+	// Retention is how long a terminal job stays fully queryable before the
+	// GC marks it expired (default 5 minutes). Expired jobs are removed one
+	// GC interval later.
+	Retention time.Duration
+	// GCInterval is the sweep period (default Retention/4, capped at 30s).
+	GCInterval time.Duration
+	// MaxJobs caps retained records. At the cap a submission first evicts
+	// the oldest finished job; if every retained job is live it is refused
+	// with ErrTooManyJobs. Default 4096.
+	MaxJobs int
+	// JobTimeout overrides the backend Runner's per-job deadline for async
+	// jobs: positive caps each job at the given duration, negative disables
+	// the deadline, zero keeps the Runner's own default. Async jobs exist
+	// for runs too long for a held-open connection, so they usually want a
+	// far larger deadline than the synchronous API.
+	JobTimeout time.Duration
+}
+
+// Manager owns the asynchronous job lifecycle. Create with New, submit with
+// Submit, and call Close exactly once on shutdown.
+type Manager struct {
+	cfg   Config
+	store *store
+
+	// baseCtx parents every job's context: jobs are deliberately detached
+	// from request contexts so they survive client disconnects. kill cancels
+	// it when the drain budget runs out.
+	baseCtx context.Context
+	kill    context.CancelFunc
+
+	seq         atomic.Int64
+	subscribers atomic.Int64
+	evictions   atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup // one unit per job between submit and finish
+
+	gcStop chan struct{}
+	gcDone chan struct{}
+}
+
+// New creates a Manager and starts its GC loop.
+func New(cfg Config) *Manager {
+	if cfg.Backend == nil {
+		panic("jobs: Config.Backend is required")
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = 5 * time.Minute
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = cfg.Retention / 4
+		if cfg.GCInterval > 30*time.Second {
+			cfg.GCInterval = 30 * time.Second
+		}
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 4096
+	}
+	ctx, kill := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		store:   newStore(),
+		baseCtx: ctx,
+		kill:    kill,
+		gcStop:  make(chan struct{}),
+		gcDone:  make(chan struct{}),
+	}
+	go m.gcLoop()
+	return m
+}
+
+// newID mints an unguessable server-generated job ID; the sequence prefix
+// keeps IDs unique even if the random source ever repeated.
+func (m *Manager) newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to the
+		// sequence alone rather than minting a guessable suffix.
+		return fmt.Sprintf("j%d", m.seq.Add(1))
+	}
+	return fmt.Sprintf("j%d-%s", m.seq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// Submit admits one job for asynchronous execution and returns its initial
+// snapshot. The Runner's backpressure passes through untranslated: a
+// saturated backend returns graphrealize.ErrQueueFull and nothing is
+// retained. The job runs under the Manager's context, not the caller's.
+func (m *Manager) Submit(j graphrealize.Job) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrShuttingDown
+	}
+	// Check capacity without evicting yet: eviction must not happen until
+	// the backend has actually admitted the new job, or a rejected
+	// submission would destroy a retained result for nothing.
+	if m.store.len() >= m.cfg.MaxJobs && !m.store.hasFinished() {
+		return Snapshot{}, ErrTooManyJobs
+	}
+	rec := &record{
+		id:      m.newID(),
+		job:     j,
+		created: time.Now(),
+		state:   StateQueued,
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	rec.cancel = cancel
+
+	// Run a private copy of the job whose Options carry the progress hook;
+	// the caller's Options are never mutated, and a caller-supplied hook is
+	// chained after the record's, not overwritten. The hook is excluded from
+	// the Runner's cache key, so a cache-served job simply completes with no
+	// progress barriers.
+	run := j
+	var opt graphrealize.Options
+	if j.Opt != nil {
+		opt = *j.Opt
+	}
+	if caller := opt.Progress; caller != nil {
+		opt.Progress = func(round, msgs int) {
+			rec.reportProgress(round, msgs)
+			caller(round, msgs)
+		}
+	} else {
+		opt.Progress = rec.reportProgress
+	}
+	run.Opt = &opt
+	if m.cfg.JobTimeout != 0 && run.Timeout == 0 {
+		run.Timeout = m.cfg.JobTimeout
+	}
+
+	ch, err := m.cfg.Backend.SubmitCtx(ctx, run)
+	if err != nil {
+		cancel()
+		return Snapshot{}, err
+	}
+	// Admitted: now make room if still needed. A concurrent GC sweep may
+	// have freed space (or removed the last finished record) since the check
+	// above; in the latter case the cap is exceeded by one record until the
+	// next sweep — a soft bound, preferable to canceling an admitted job.
+	if m.store.len() >= m.cfg.MaxJobs && m.store.evictOldestFinished() {
+		m.evictions.Add(1)
+	}
+	m.store.put(rec)
+	m.wg.Add(1)
+	go m.watch(rec, ch)
+	return rec.snapshot(), nil
+}
+
+// watch waits for one job's result and records the terminal transition.
+func (m *Manager) watch(rec *record, ch <-chan graphrealize.Result) {
+	defer m.wg.Done()
+	rec.finish(<-ch)
+}
+
+// Get returns a job's snapshot.
+func (m *Manager) Get(id string) (Snapshot, error) {
+	rec, ok := m.store.get(id)
+	if !ok {
+		return Snapshot{}, ErrNotFound
+	}
+	return rec.snapshot(), nil
+}
+
+// Cancel requests cancellation of a live job: its context is canceled and
+// the engine stops at the next round barrier. It reports whether the request
+// actually initiated a cancellation (false: the job was already terminal —
+// Cancel is idempotent and never an error on a known job).
+func (m *Manager) Cancel(id string) (Snapshot, bool, error) {
+	rec, ok := m.store.get(id)
+	if !ok {
+		return Snapshot{}, false, ErrNotFound
+	}
+	if rec.currentState().Terminal() {
+		return rec.snapshot(), false, nil
+	}
+	rec.cancel()
+	return rec.snapshot(), true, nil
+}
+
+// List returns snapshots newest-first, optionally filtered by state.
+// limit ≤ 0 means no limit.
+func (m *Manager) List(state State, limit int) []Snapshot {
+	var out []Snapshot
+	for _, rec := range m.store.all() {
+		snap := rec.snapshot()
+		if state != "" && snap.State != state {
+			continue
+		}
+		out = append(out, snap)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of the Manager's gauges and counters.
+type Stats struct {
+	Jobs        map[State]int // retained jobs by state (every state present)
+	Retained    int           // total retained records
+	Subscribers int64         // open event subscriptions
+	Evictions   int64         // records removed by GC or capacity eviction
+}
+
+// StatsSnapshot returns the Manager's gauges for monitoring.
+func (m *Manager) StatsSnapshot() Stats {
+	counts := m.store.counts()
+	return Stats{
+		Jobs:        counts,
+		Retained:    m.store.len(),
+		Subscribers: m.subscribers.Load(),
+		Evictions:   m.evictions.Load(),
+	}
+}
+
+// gcLoop sweeps retention on a ticker until Close.
+func (m *Manager) gcLoop() {
+	defer close(m.gcDone)
+	t := time.NewTicker(m.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.GC(time.Now())
+		case <-m.gcStop:
+			return
+		}
+	}
+}
+
+// GC runs one retention sweep at the given instant and returns the number of
+// records removed. Terminal jobs older than Retention become expired;
+// already-expired records are removed (subsequent Gets return ErrNotFound).
+// Exported so tests and embedders can drive retention deterministically.
+func (m *Manager) GC(now time.Time) int {
+	toExpire, removed := m.store.sweep(now, m.cfg.Retention)
+	for _, rec := range toExpire {
+		rec.expire()
+	}
+	m.evictions.Add(int64(removed))
+	return removed
+}
+
+// Close drains the Manager: submissions are refused, the GC stops, and
+// running jobs get until ctx's deadline to finish on their own. Jobs still
+// live at the deadline are canceled (the engine unwinds at its next round
+// barrier, so the forced phase is short) and Close waits for them to record
+// their terminal state. It returns ctx.Err() if the force phase was needed.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+
+	close(m.gcStop)
+	<-m.gcDone
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	m.kill()
+	<-done
+	return ctx.Err()
+}

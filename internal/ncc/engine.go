@@ -28,6 +28,9 @@ func (s *Sim) drive(panics chan error) {
 			}
 		}
 	drained:
+		if s.firstErr == nil && s.cfg.Progress != nil {
+			s.cfg.Progress(s.round, int(s.met.Messages))
+		}
 		if s.firstErr == nil && s.cfg.Stop != nil {
 			select {
 			case <-s.cfg.Stop:

@@ -38,6 +38,13 @@ type Config struct {
 	// cooperative at round granularity: a run stops between rounds, never
 	// mid-round.
 	Stop <-chan struct{}
+	// Progress, if non-nil, is invoked at the same per-barrier point that
+	// polls Stop, with the number of rounds completed and messages delivered
+	// so far. It runs on the engine's driver goroutine while every protocol
+	// goroutine is parked, so it needs no synchronization with the protocol —
+	// but it executes inside the round loop and must return quickly without
+	// blocking; a slow hook stretches every round.
+	Progress func(round, msgs int)
 	// OrderedIDs forces node IDs to be assigned in increasing order along the
 	// Gk path (IDs are still random in NCC0 unless Model is NCC1). Figures in
 	// the paper use this layout; by default the path order is a random

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// metrics.go renders GET /metrics in the Prometheus text exposition format
+// (version 0.0.4) with no external dependencies: the Runner's admission /
+// execution counters, and — when the async subsystem is enabled — the job
+// manager's per-state gauges, subscriber gauge, and GC eviction counter.
+
+// metricsWriter accumulates one exposition document.
+type metricsWriter struct {
+	b strings.Builder
+}
+
+func (m *metricsWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func (m *metricsWriter) counter(name, help string, v float64) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+}
+
+// labeled emits one gauge family with a single label dimension, rows sorted
+// for a stable exposition.
+func (m *metricsWriter) labeled(name, help, label string, rows map[string]int) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&m.b, "%s{%s=%q} %d\n", name, label, k, rows[k])
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Backend.Stats()
+	var mw metricsWriter
+
+	mw.gauge("graphrealize_runner_workers", "Size of the Runner worker pool.", float64(st.Workers))
+	mw.gauge("graphrealize_runner_queue_limit", "Admission queue bound (-1 = unbounded).", float64(st.QueueLimit))
+	mw.gauge("graphrealize_runner_active_jobs", "Jobs executing right now.", float64(st.Active))
+	mw.gauge("graphrealize_runner_queued_jobs", "Jobs admitted and waiting for a worker.", float64(st.Queued))
+	mw.counter("graphrealize_runner_submitted_total", "Submissions accepted (including cache-served).", float64(st.Submitted))
+	mw.counter("graphrealize_runner_rejected_total", "Submissions refused with queue-full backpressure.", float64(st.Rejected))
+	mw.counter("graphrealize_runner_executed_total", "Jobs that acquired a worker.", float64(st.Executed))
+	mw.counter("graphrealize_runner_completed_total", "Executed jobs that finished without error.", float64(st.Completed))
+	mw.counter("graphrealize_runner_failed_total", "Executed jobs that finished with a non-cancellation error.", float64(st.Failed))
+	mw.counter("graphrealize_runner_canceled_total", "Jobs abandoned by cancellation or timeout.", float64(st.Canceled))
+	mw.counter("graphrealize_runner_cache_hits_total", "Submissions served from the result cache.", float64(st.CacheHits))
+	mw.gauge("graphrealize_runner_cache_entries", "Distinct results currently cached.", float64(st.CacheLen))
+	mw.counter("graphrealize_runner_wait_seconds_total", "Cumulative time jobs spent queued.", st.TotalWait.Seconds())
+	mw.counter("graphrealize_runner_run_seconds_total", "Cumulative time jobs spent executing.", st.TotalRun.Seconds())
+
+	if s.cfg.Jobs != nil {
+		js := s.cfg.Jobs.StatsSnapshot()
+		byState := make(map[string]int, len(js.Jobs))
+		for state, n := range js.Jobs {
+			byState[string(state)] = n
+		}
+		mw.labeled("graphrealize_async_jobs", "Retained async jobs by lifecycle state.", "state", byState)
+		mw.gauge("graphrealize_async_retained_jobs", "Total retained async job records.", float64(js.Retained))
+		mw.gauge("graphrealize_async_subscribers", "Open job event subscriptions.", float64(js.Subscribers))
+		mw.counter("graphrealize_async_evictions_total", "Async job records removed by GC or capacity eviction.", float64(js.Evictions))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, mw.b.String())
+}

@@ -10,10 +10,22 @@
 //	POST /v1/sweep                 one sequence under many seeds
 //	GET  /healthz                  liveness
 //	GET  /v1/stats                 Runner queue/cache/latency counters
+//	GET  /metrics                  Prometheus text exposition
+//
+// With a job manager configured (Config.Jobs), the asynchronous API is also
+// served — fire-and-poll realizations that survive the submitting connection
+// closing:
+//
+//	POST   /v1/jobs                submit (202 + Location)
+//	GET    /v1/jobs                list/filter retained jobs
+//	GET    /v1/jobs/{id}           state, round progress, and result
+//	DELETE /v1/jobs/{id}           cancel (engine stops at a round barrier)
+//	GET    /v1/jobs/{id}/events    SSE stream of progress/terminal events
 //
 // Error mapping: malformed requests are 400, oversized inputs 413,
 // unrealizable sequences 422, a saturated Runner 429 (backpressure — the
-// request was never admitted), job timeouts 504, and a client that
+// request was never admitted) with a Retry-After hint derived from live
+// queue depth and mean job latency, job timeouts 504, and a client that
 // disconnected mid-job 499.
 package serve
 
@@ -24,9 +36,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/jobs"
 )
 
 // StatusClientClosedRequest reports a job abandoned because the client went
@@ -52,6 +67,10 @@ type Config struct {
 	MaxSeeds int
 	// MaxBodyBytes caps request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// Jobs, when non-nil, enables the asynchronous job API backed by this
+	// manager (which should wrap the same Backend so admission control is
+	// shared).
+	Jobs *jobs.Manager
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -60,6 +79,13 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	started time.Time
+
+	// Watermarks of the executed-job counters at the previous Retry-After
+	// computation, so the hint reflects recent latency, not the lifetime
+	// mean (which goes stale when the workload shifts).
+	retryMu     sync.Mutex
+	lastExec    int64
+	lastRunNano int64
 }
 
 // New creates a Server. It panics if cfg.Backend is nil: a service without
@@ -87,6 +113,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.logged(s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.logged(s.handleHealth))
 	mux.HandleFunc("GET /v1/stats", s.logged(s.handleStats))
+	mux.HandleFunc("GET /metrics", s.logged(s.handleMetrics))
+	if s.cfg.Jobs != nil {
+		mux.HandleFunc("POST /v1/jobs", s.logged(s.handleJobSubmit))
+		mux.HandleFunc("GET /v1/jobs", s.logged(s.handleJobList))
+		mux.HandleFunc("GET /v1/jobs/{id}", s.logged(s.handleJobGet))
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.logged(s.handleJobCancel))
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.logged(s.handleJobEvents))
+	}
 	return mux
 }
 
@@ -99,6 +133,13 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so SSE
+// streaming works through the logging middleware without the recorder
+// falsely claiming http.Flusher support the underlying writer lacks.
+func (r *statusRecorder) Unwrap() http.ResponseWriter {
+	return r.ResponseWriter
 }
 
 func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
@@ -170,14 +211,51 @@ func (s *Server) checkSequence(w http.ResponseWriter, seq []int) bool {
 	return true
 }
 
+// retryAfterSeconds estimates when Runner capacity will free up, for 429
+// Retry-After hints: the current backlog (queued + active jobs) spread over
+// the worker pool, times the recent mean job latency, rounded up and clamped
+// to [1, 30] seconds. "Recent" is the window since the previous hint (the
+// lifetime mean goes stale when the workload shifts); with no executions in
+// the window it falls back to the lifetime mean, and a cold Runner hints 1s.
+func (s *Server) retryAfterSeconds() int {
+	st := s.cfg.Backend.Stats()
+	if st.Executed == 0 {
+		return 1
+	}
+	s.retryMu.Lock()
+	dExec := st.Executed - s.lastExec
+	dRun := st.TotalRun.Nanoseconds() - s.lastRunNano
+	if dExec > 0 {
+		s.lastExec = st.Executed
+		s.lastRunNano = st.TotalRun.Nanoseconds()
+	}
+	s.retryMu.Unlock()
+	var mean time.Duration
+	if dExec > 0 {
+		mean = time.Duration(dRun / dExec)
+	} else {
+		mean = st.TotalRun / time.Duration(st.Executed)
+	}
+	workers := max(st.Workers, 1)
+	backlog := st.Queued + st.Active
+	eta := time.Duration(backlog) * mean / time.Duration(workers)
+	secs := int((eta + time.Second - 1) / time.Second)
+	return min(max(secs, 1), 30)
+}
+
+// writeBackpressure emits a 429 with the live Retry-After hint.
+func (s *Server) writeBackpressure(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests, format, args...)
+}
+
 // submit runs one job to completion under the request context, translating
 // admission rejection into 429 with a Retry-After hint.
 func (s *Server) submit(w http.ResponseWriter, ctx context.Context, j graphrealize.Job) (graphrealize.Result, bool) {
 	ch, err := s.cfg.Backend.SubmitCtx(ctx, j)
 	if err != nil {
 		if errors.Is(err, graphrealize.ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "runner queue is full; retry later")
+			s.writeBackpressure(w, "runner queue is full; retry later")
 		} else {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
@@ -308,16 +386,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	jobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt}, seeds)
+	sweepJobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt}, seeds)
 	// The whole sweep is admitted atomically (every job or none), so a
 	// saturated Runner rejects it as a unit (429) instead of wedging it
 	// halfway or starving a concurrent sweep.
-	chans, err := s.cfg.Backend.SubmitAllCtx(r.Context(), jobs)
+	chans, err := s.cfg.Backend.SubmitAllCtx(r.Context(), sweepJobs)
 	if err != nil {
 		if errors.Is(err, graphrealize.ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				"runner queue cannot admit a %d-job sweep; retry later", len(jobs))
+			s.writeBackpressure(w, "runner queue cannot admit a %d-job sweep; retry later", len(sweepJobs))
 		} else {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/jobs"
 )
 
 // types.go defines the service's JSON wire format and its mapping onto the
@@ -202,6 +203,111 @@ func statsResponse(rs graphrealize.RunnerStats, uptime time.Duration) StatsRespo
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// JobRequest is the body of POST /v1/jobs: the same inputs as a synchronous
+// realization, addressed by kind (the SweepRequest.Kind vocabulary).
+type JobRequest struct {
+	// Kind names the realization algorithm: "degrees", "degrees-explicit",
+	// "upper-envelope", "chain-tree", "min-diam-tree", or "connectivity"
+	// (the usual aliases are accepted).
+	Kind string `json:"kind"`
+	// Sequence is the degree (or ρ) sequence to realize.
+	Sequence []int `json:"sequence"`
+	// Options tunes the simulation; nil selects the defaults.
+	Options *OptionsJSON `json:"options,omitempty"`
+	// Label is an optional caller tag echoed back in job snapshots.
+	Label string `json:"label,omitempty"`
+}
+
+// JobJSON is one job's externally visible state (202/200 bodies and list
+// rows). Result is present only on GET /v1/jobs/{id} of a done job.
+type JobJSON struct {
+	ID         string           `json:"id"`
+	Kind       string           `json:"kind"`
+	State      string           `json:"state"`
+	N          int              `json:"n"`
+	Label      string           `json:"label,omitempty"`
+	Round      int              `json:"round"`
+	Messages   int              `json:"messages"`
+	CreatedAt  time.Time        `json:"created_at"`
+	StartedAt  *time.Time       `json:"started_at,omitempty"`
+	FinishedAt *time.Time       `json:"finished_at,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	Result     *RealizeResponse `json:"result,omitempty"`
+}
+
+// jobJSON projects a snapshot onto the wire. includeResult attaches the
+// realization payload of a done job; omitEdges drops its edge list.
+func jobJSON(snap jobs.Snapshot, includeResult, omitEdges bool) JobJSON {
+	out := JobJSON{
+		ID:        snap.ID,
+		Kind:      snap.Kind.String(),
+		State:     string(snap.State),
+		N:         snap.N,
+		Label:     snap.Label,
+		Round:     snap.Round,
+		Messages:  snap.Messages,
+		CreatedAt: snap.Created,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		out.StartedAt = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		out.FinishedAt = &t
+	}
+	if snap.Err != nil {
+		out.Error = snap.Err.Error()
+	}
+	if includeResult && snap.Result != nil && snap.Result.Graph != nil {
+		started := snap.Started
+		if started.IsZero() {
+			started = snap.Created // cache-served jobs never ran
+		}
+		res := &RealizeResponse{
+			Kind:      snap.Kind.String(),
+			N:         snap.Result.Graph.N,
+			M:         snap.Result.Graph.M(),
+			Envelope:  snap.Result.Envelope,
+			Stats:     statsJSON(snap.Result.Stats),
+			Cached:    snap.Result.Cached,
+			ElapsedMS: float64(snap.Finished.Sub(started).Microseconds()) / 1000,
+		}
+		if !omitEdges {
+			res.Edges = snap.Result.Graph.Edges()
+		}
+		out.Result = res
+	}
+	return out
+}
+
+// JobListResponse is the body of GET /v1/jobs. Counts tallies every retained
+// job by state (unaffected by the state filter or limit).
+type JobListResponse struct {
+	Jobs   []JobJSON      `json:"jobs"`
+	Counts map[string]int `json:"counts"`
+}
+
+// JobEventJSON is the data payload of one SSE event on
+// GET /v1/jobs/{id}/events.
+type JobEventJSON struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Round    int    `json:"round"`
+	Messages int    `json:"messages"`
+	Error    string `json:"error,omitempty"`
+}
+
+func jobEventJSON(ev jobs.Event) JobEventJSON {
+	return JobEventJSON{
+		ID:       ev.JobID,
+		State:    string(ev.State),
+		Round:    ev.Round,
+		Messages: ev.Messages,
+		Error:    ev.Err,
+	}
 }
 
 // parseKind resolves a SweepRequest.Kind string to a JobKind.

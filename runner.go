@@ -68,6 +68,13 @@ type Job struct {
 	Seq   []int
 	Opt   *Options
 	Label string
+	// Timeout overrides the Runner's JobTimeout for this job: positive caps
+	// execution at the given duration, negative disables the per-job
+	// deadline entirely, zero keeps the Runner's default. Long-regime
+	// asynchronous jobs use this to outlive the synchronous deadline.
+	// Timeout never affects a deterministic outcome, so it is not part of
+	// the result cache key.
+	Timeout time.Duration
 }
 
 // Result is the outcome of one Job. Envelope is non-nil only for
@@ -310,9 +317,13 @@ func (r *Runner) executeAdmitted(ctx context.Context, j Job, enqueued time.Time)
 		r.active.Add(-1)
 	}()
 	jctx := ctx
-	if r.timeout > 0 {
+	timeout := r.timeout
+	if j.Timeout != 0 {
+		timeout = j.Timeout // negative disables the deadline
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, r.timeout)
+		jctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	start := time.Now()
@@ -418,8 +429,14 @@ func (r *Runner) run(ctx context.Context, j Job) Result {
 	res := r.exec(ctx, j)
 	// Deterministic outcomes (including ErrUnrealizable / ErrBadInput) are
 	// cacheable; an abandoned run is not — the next requester must compute it.
+	// The stored entry carries no Job: every hit path overwrites it with the
+	// requester's job anyway, and retaining it would pin the submitter's
+	// Options (whose Progress hook can reference arbitrary caller state) for
+	// the entry's whole LRU lifetime.
 	if !errors.Is(res.Err, context.Canceled) && !errors.Is(res.Err, context.DeadlineExceeded) {
-		r.cache.put(key, res)
+		stored := res
+		stored.Job = Job{}
+		r.cache.put(key, stored)
 	}
 	return res
 }
@@ -449,13 +466,37 @@ func Execute(ctx context.Context, j Job) Result {
 }
 
 // cacheKey identifies a job's deterministic result: the kind, the sequence
-// (compacted into a collision-free byte string), and the full normalized
-// Options value. Runs are deterministic for fixed options, so equal keys
+// (compacted into a collision-free byte string), and the outcome-affecting
+// Options fields. Runs are deterministic for fixed options, so equal keys
 // imply equal results; varint-style delta coding keeps typical keys short.
 type cacheKey struct {
 	kind JobKind
 	seq  string
-	opt  Options
+	opt  optKey
+}
+
+// optKey is the comparable projection of Options used in cache keys: every
+// field that affects a run's outcome, and nothing else. Progress is
+// observational (and, being a func, not comparable), so jobs differing only
+// in their progress hook share one cached result.
+type optKey struct {
+	model     Model
+	seed      int64
+	strict    bool
+	capMul    int
+	sort      SortMethod
+	maxRounds int
+}
+
+func (o Options) key() optKey {
+	return optKey{
+		model:     o.Model,
+		seed:      o.Seed,
+		strict:    o.Strict,
+		capMul:    o.CapMul,
+		sort:      o.Sort,
+		maxRounds: o.MaxRounds,
+	}
 }
 
 func (j Job) cacheKey() cacheKey {
@@ -471,7 +512,7 @@ func (j Job) cacheKey() cacheKey {
 	return cacheKey{
 		kind: j.Kind,
 		seq:  string(buf),
-		opt:  j.Opt.norm(),
+		opt:  j.Opt.norm().key(),
 	}
 }
 

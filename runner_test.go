@@ -3,6 +3,7 @@ package graphrealize
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -362,6 +363,150 @@ func TestRunnerStatsLatencyAndCacheCounters(t *testing.T) {
 	}
 	if st.QueueLimit != -1 {
 		t.Fatalf("batch runner must report an unbounded queue, got %d", st.QueueLimit)
+	}
+}
+
+func TestRunnerPerJobTimeoutOverride(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 2, Queue: -1, JobTimeout: 10 * time.Millisecond})
+	release := make(chan struct{})
+	blockingExec(r, release)
+
+	// A negative Timeout disables the Runner's deadline: the job survives
+	// well past 10ms and completes once released.
+	long := distinctJob(1)
+	long.Timeout = -1
+	ch := r.Submit(long)
+	select {
+	case res := <-ch:
+		t.Fatalf("deadline-free job must still be running, got %+v", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if res := <-ch; res.Err != nil {
+		t.Fatalf("deadline-free job must complete: %v", res.Err)
+	}
+
+	// A positive Timeout overrides a laxer Runner default.
+	r2 := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: -1, JobTimeout: time.Hour})
+	blockingExec(r2, make(chan struct{}))
+	short := distinctJob(2)
+	short.Timeout = 5 * time.Millisecond
+	if res := <-r2.Submit(short); !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("per-job deadline must override the runner default, got %v", res.Err)
+	}
+}
+
+// TestRunnerStatsReconcileUnderConcurrency hammers a small bounded Runner
+// from many goroutines mixing successful jobs, pre-canceled contexts,
+// deliberate timeouts, and queue-full rejections, then checks that the
+// counters reconcile exactly against the client-observed outcomes. Run under
+// -race (CI does), this also exercises the counter paths for data races.
+func TestRunnerStatsReconcileUnderConcurrency(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 4, Queue: 4, JobTimeout: 25 * time.Millisecond})
+	// The executor sleeps briefly (building queue pressure) and honours ctx;
+	// every 7th job hangs until its deadline kills it.
+	r.exec = func(ctx context.Context, j Job) Result {
+		hang := j.Opt.Seed%7 == 0
+		d := time.Millisecond
+		if hang {
+			d = time.Second
+		}
+		select {
+		case <-time.After(d):
+			return Result{Job: j}
+		case <-ctx.Done():
+			return Result{Job: j, Err: ctx.Err()}
+		}
+	}
+
+	const (
+		goroutines = 8
+		perG       = 30
+	)
+	var (
+		seedSrc                          atomic.Int64
+		okN, rejectedN, canceledN, failN atomic.Int64
+		wg                               sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				// Globally unique seeds keep every cache key distinct, so the
+				// cache never short-circuits admission accounting.
+				seed := seedSrc.Add(1)
+				ctx := context.Background()
+				if seed%5 == 0 {
+					c, cancel := context.WithCancel(ctx)
+					cancel()
+					ctx = c
+				}
+				ch, err := r.SubmitCtx(ctx, distinctJob(seed))
+				if err != nil {
+					if !errors.Is(err, ErrQueueFull) {
+						t.Errorf("unexpected submit error: %v", err)
+					}
+					rejectedN.Add(1)
+					continue
+				}
+				res := <-ch
+				switch {
+				case res.Err == nil:
+					okN.Add(1)
+				case errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+					canceledN.Add(1)
+				default:
+					failN.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := r.Stats()
+	total := int64(goroutines * perG)
+	if got := okN.Load() + rejectedN.Load() + canceledN.Load() + failN.Load(); got != total {
+		t.Fatalf("client accounting lost submissions: %d of %d", got, total)
+	}
+	// Every accepted submission ends in exactly one terminal counter, and the
+	// mix guarantees traffic on each path.
+	if st.Submitted != total-rejectedN.Load() {
+		t.Fatalf("Submitted=%d, want %d accepted of %d", st.Submitted, total-rejectedN.Load(), total)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("distinct jobs must never hit the cache, got %d", st.CacheHits)
+	}
+	if st.Completed != okN.Load() {
+		t.Fatalf("Completed=%d, clients observed %d successes", st.Completed, okN.Load())
+	}
+	if st.Canceled != canceledN.Load() {
+		t.Fatalf("Canceled=%d, clients observed %d cancellations/timeouts", st.Canceled, canceledN.Load())
+	}
+	if st.Failed != failN.Load() {
+		t.Fatalf("Failed=%d, clients observed %d failures", st.Failed, failN.Load())
+	}
+	if st.Rejected != rejectedN.Load() {
+		t.Fatalf("Rejected=%d, clients observed %d rejections", st.Rejected, rejectedN.Load())
+	}
+	if st.Submitted != st.Completed+st.Failed+st.Canceled {
+		t.Fatalf("terminal counters don't reconcile with Submitted: %+v", st)
+	}
+	// Executed counts jobs that reached a worker: everything except
+	// submissions canceled while still queued.
+	if st.Executed < st.Completed || st.Executed > st.Submitted {
+		t.Fatalf("Executed out of range: %+v", st)
+	}
+	// All capacity returned: the drained Runner admits a full batch again.
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("drained Runner must be idle: %+v", st)
+	}
+	if ok := r.tryAdmit(8); !ok {
+		t.Fatal("drained Runner must have all admission units free")
+	}
+	r.releaseAdmit(8)
+	if st.Completed == 0 || st.Canceled == 0 {
+		t.Fatalf("test mix must exercise completions and cancellations: %+v", st)
 	}
 }
 
