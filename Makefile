@@ -10,7 +10,8 @@
 #   make loadgen        drive a running service with mixed traffic
 #   make bench-compare  bench HEAD vs BASE and gate like CI does
 #
-# Service knobs: ADDR, QUEUE, JOB_TIMEOUT; loadgen knobs: CONC, REQS, MIX.
+# Service knobs: ADDR, QUEUE, JOB_TIMEOUT, DATA_DIR (non-empty = durable
+# jobs with crash recovery); loadgen knobs: CONC, REQS, MIX.
 
 GO          ?= go
 SCALE       ?= quick
@@ -21,6 +22,7 @@ FAMILY      ?= powerlaw
 ADDR        ?= 127.0.0.1:8080
 QUEUE       ?= 256
 JOB_TIMEOUT ?= 60s
+DATA_DIR    ?=
 CONC        ?= 64
 REQS        ?= 500
 MIX         ?= degree,tree,connectivity
@@ -58,9 +60,9 @@ tables:
 	$(GO) run ./cmd/benchtab -scale $(SCALE) -workers $(WORKERS)
 
 # The HTTP realization service and its load generator (same commands the CI
-# e2e-smoke job runs).
+# e2e-smoke job runs). Set DATA_DIR to persist async jobs across restarts.
 serve:
-	$(GO) run ./cmd/grserved -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE) -job-timeout $(JOB_TIMEOUT)
+	$(GO) run ./cmd/grserved -addr $(ADDR) -workers $(WORKERS) -queue $(QUEUE) -job-timeout $(JOB_TIMEOUT) $(if $(DATA_DIR),-data-dir $(DATA_DIR))
 
 loadgen:
 	$(GO) run ./cmd/grloadgen -addr http://$(ADDR) -c $(CONC) -requests $(REQS) -mix $(MIX)

@@ -11,6 +11,14 @@
 //	grserved -addr :9090 -workers 8 -queue 64
 //	grserved -job-timeout 10s -max-n 2048 -quiet
 //	grserved -job-ttl 2m -job-gc 15s -max-jobs 1024
+//	grserved -data-dir /var/lib/grserved       # durable jobs + crash recovery
+//
+// With -data-dir set, async job state is shadowed to an append-only WAL plus
+// periodic snapshots in that directory: after a crash (even kill -9), a
+// restart on the same directory serves completed jobs' results from disk and
+// re-queues jobs that were in flight, re-running them deterministically from
+// their recorded seeds. Empty -data-dir (the default) keeps jobs in memory
+// only, exactly as before.
 //
 // The server drains in-flight requests and async jobs on SIGINT/SIGTERM and
 // exits 0.
@@ -45,6 +53,7 @@ func main() {
 	jobTTL := flag.Duration("job-ttl", 5*time.Minute, "async job retention after completion")
 	jobGC := flag.Duration("job-gc", 0, "async job GC sweep interval (0 = job-ttl/4, capped at 30s)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained async job records before eviction/backpressure")
+	dataDir := flag.String("data-dir", "", "directory for durable async job state (empty = in-memory only)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
@@ -56,13 +65,30 @@ func main() {
 		JobTimeout: *jobTimeout,
 		CacheSize:  *cacheSize,
 	})
-	manager := jobs.New(jobs.Config{
+	var store jobs.Store
+	if *dataDir != "" {
+		fs, err := jobs.OpenFileStore(*dataDir)
+		if err != nil {
+			logger.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		store = fs
+	}
+	manager, err := jobs.Open(jobs.Config{
 		Backend:    runner,
 		Retention:  *jobTTL,
 		GCInterval: *jobGC,
 		MaxJobs:    *maxJobs,
 		JobTimeout: *asyncTimeout,
+		Store:      store,
 	})
+	if err != nil {
+		logger.Fatalf("recover jobs from %s: %v", *dataDir, err)
+	}
+	if *dataDir != "" {
+		js := manager.StatsSnapshot()
+		logger.Printf("durable jobs in %s: recovered %d terminal, re-queued %d in-flight (%d corrupt WAL records dropped)",
+			*dataDir, js.RecoveredTerminal, js.RecoveredRequeued, js.Store.ReplayErrors)
+	}
 	cfg := serve.Config{
 		Backend:  runner,
 		Jobs:     manager,

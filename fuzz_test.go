@@ -1,0 +1,90 @@
+package graphrealize_test
+
+import (
+	"errors"
+	"testing"
+
+	"graphrealize"
+)
+
+// fuzz_test.go differential-tests the distributed degree realization (§4.1,
+// Theorem 11) against the sequential Havel–Hakimi baseline (§3.3) on
+// arbitrary degree sequences. The two implementations share no code above
+// the graph type, so agreement on realizability — the Erdős–Gallai
+// characterization both must decide — plus degree-exactness of every
+// realized overlay is a strong end-to-end check. The seed corpus runs in
+// every ordinary `go test`; CI additionally runs a short `-fuzz` smoke.
+
+// fuzzSequence decodes fuzz bytes into a degree sequence small enough to
+// simulate quickly: at most 24 nodes, degrees clamped into [0, n-1] by
+// construction mod n (out-of-range degrees are ErrBadInput-free but trivially
+// non-graphic, diluting coverage).
+func fuzzSequence(data []byte) []int {
+	if len(data) == 0 || len(data) > 24 {
+		return nil
+	}
+	d := make([]int, len(data))
+	for i, b := range data {
+		d[i] = int(b) % len(data)
+	}
+	return d
+}
+
+func FuzzRealizeDegreesMatchesHavelHakimi(f *testing.F) {
+	f.Add([]byte{3, 3, 2, 2, 2, 2}, int64(1)) // the package's quickstart sequence
+	f.Add([]byte{4, 4, 4, 4, 4, 4, 4, 4}, int64(7))
+	f.Add([]byte{3, 3, 1, 1}, int64(2)) // unrealizable
+	f.Add([]byte{0, 0, 0}, int64(0))    // empty graph
+	f.Add([]byte{5, 5, 4, 3, 2, 2, 2, 1}, int64(11))
+	f.Add([]byte{1, 1}, int64(3))                   // single edge
+	f.Add([]byte{7, 1, 1, 1, 1, 1, 1, 1}, int64(5)) // star
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		d := fuzzSequence(data)
+		if d == nil {
+			t.Skip()
+		}
+		g, _, derr := graphrealize.RealizeDegrees(d, &graphrealize.Options{Seed: seed})
+		hg, herr := graphrealize.HavelHakimi(d)
+
+		// Realizability is a property of the sequence alone (Erdős–Gallai):
+		// the distributed protocol and the sequential baseline must agree.
+		if errors.Is(derr, graphrealize.ErrUnrealizable) != errors.Is(herr, graphrealize.ErrUnrealizable) {
+			t.Fatalf("realizability disagreement on %v: distributed=%v sequential=%v", d, derr, herr)
+		}
+		if derr != nil && !errors.Is(derr, graphrealize.ErrUnrealizable) {
+			t.Fatalf("distributed realization failed unexpectedly on %v: %v", d, derr)
+		}
+		if derr == nil {
+			checkRealization(t, "distributed", g, d)
+		}
+		if herr == nil {
+			checkRealization(t, "sequential", hg, d)
+		}
+	})
+}
+
+// checkRealization asserts g is a simple graph realizing exactly d.
+func checkRealization(t *testing.T, who string, g *graphrealize.Graph, d []int) {
+	t.Helper()
+	if g == nil || g.N != len(d) {
+		t.Fatalf("%s: graph has wrong order for %v: %+v", who, d, g)
+	}
+	for v, adj := range g.Adj {
+		if len(adj) != d[v] {
+			t.Fatalf("%s: vertex %d has degree %d, want %d (seq %v)", who, v, len(adj), d[v], d)
+		}
+		seen := make(map[int]bool, len(adj))
+		for _, u := range adj {
+			if u == v {
+				t.Fatalf("%s: self-loop at %d (seq %v)", who, v, d)
+			}
+			if u < 0 || u >= g.N {
+				t.Fatalf("%s: edge endpoint %d out of range (seq %v)", who, u, d)
+			}
+			if seen[u] {
+				t.Fatalf("%s: parallel edge %d-%d (seq %v)", who, v, u, d)
+			}
+			seen[u] = true
+		}
+	}
+}

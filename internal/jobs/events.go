@@ -43,7 +43,7 @@ func eventOf(snap Snapshot) Event {
 // (safe to call multiple times, and required even after the channel closes).
 // Subscribing to an already-terminal job yields exactly its terminal event.
 func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
-	rec, ok := m.store.get(id)
+	rec, ok := m.ledger.get(id)
 	if !ok {
 		return nil, nil, ErrNotFound
 	}

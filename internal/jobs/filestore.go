@@ -1,0 +1,198 @@
+package jobs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// filestore.go is the durable Store: a data directory holding
+//
+//	snapshot.json  — compacted live set at one WAL sequence number
+//	wal.log        — lifecycle events appended since that snapshot
+//
+// Recovery order: snapshot first, then the WAL replayed on top. The WAL is
+// order-tolerant on the one race recovery can observe (an "expired" append
+// racing a terminal append is ignored for a job not yet terminal); every
+// other op applies by last-writer-wins on the job ID. Compaction writes a
+// fresh snapshot and truncates the WAL under one lock, so appends never
+// interleave with a half-taken snapshot.
+
+// Default FileStore file names.
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.json"
+)
+
+// FileStore is the file-backed Store. Create with OpenFileStore.
+type FileStore struct {
+	dir string
+
+	// mu orders appends (read lock — the walWriter serializes them among
+	// themselves) against compaction's snapshot + WAL reset (write lock),
+	// so no record can land in a segment after its snapshot cut was taken
+	// and then be truncated away.
+	mu  sync.RWMutex
+	wal *walWriter
+
+	recovered    []PersistedJob
+	replayErrors int
+	compactions  atomic.Int64
+	closed       atomic.Bool
+}
+
+// OpenFileStore opens (creating if needed) a durable job store in dir and
+// performs recovery: the snapshot is loaded, the WAL replayed on top, and
+// the surviving jobs are held for the Manager's Recover call.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create data dir: %w", err)
+	}
+	snap, err := loadSnapshot(dir, snapshotFileName)
+	if err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(dir, walFileName)
+	recs, dropped, err := replayWAL(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: replay wal: %w", err)
+	}
+
+	byID := make(map[string]*PersistedJob, len(snap.Jobs)+len(recs))
+	for i := range snap.Jobs {
+		pj := snap.Jobs[i]
+		byID[pj.ID] = &pj
+	}
+	lastSeq := snap.WALSeq
+	for _, rec := range recs {
+		if rec.Seq > lastSeq {
+			lastSeq = rec.Seq
+		}
+		switch rec.Op {
+		case opSubmit, opTerminal:
+			if rec.Job != nil {
+				pj := *rec.Job
+				byID[pj.ID] = &pj
+			}
+		case opExpired:
+			// Only age out a job recovery knows to be terminal: an expired
+			// append can land before its terminal append under a tiny
+			// retention (the GC races the watch goroutine's durable write),
+			// and replaying it onto a queued job would wrongly bury a run
+			// that should be re-queued.
+			if pj, ok := byID[rec.ID]; ok && pj.State.Terminal() {
+				pj.State = StateExpired
+			}
+		case opRemoved:
+			for _, id := range rec.IDs {
+				delete(byID, id)
+			}
+		}
+	}
+
+	live := make([]PersistedJob, 0, len(byID))
+	for _, pj := range byID {
+		live = append(live, *pj)
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if !live[i].Created.Equal(live[j].Created) {
+			return live[i].Created.Before(live[j].Created)
+		}
+		return live[i].ID < live[j].ID
+	})
+
+	wal, err := openWAL(walPath, lastSeq)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	return &FileStore{dir: dir, wal: wal, recovered: live, replayErrors: dropped}, nil
+}
+
+// Recover returns the jobs surviving on disk, oldest first.
+func (s *FileStore) Recover() ([]PersistedJob, error) {
+	return s.recovered, nil
+}
+
+// LogSubmitted appends an admission record (best-effort: not synced — a
+// crash may forget a job that was never acknowledged as terminal).
+func (s *FileStore) LogSubmitted(pj PersistedJob) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.append(walRecord{Op: opSubmit, Job: &pj}, false)
+}
+
+// LogTerminal appends a terminal record and fsyncs before returning: once
+// the Manager publishes the state a client can observe, it is durable.
+func (s *FileStore) LogTerminal(pj PersistedJob) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.append(walRecord{Op: opTerminal, Job: &pj}, true)
+}
+
+// LogExpired appends the first GC phase (best-effort).
+func (s *FileStore) LogExpired(id string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.append(walRecord{Op: opExpired, ID: id}, false)
+}
+
+// LogRemoved appends the second GC phase or a capacity eviction
+// (best-effort; the next compaction physically drops the bytes).
+func (s *FileStore) LogRemoved(ids []string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.append(walRecord{Op: opRemoved, IDs: ids}, false)
+}
+
+// Compact atomically replaces the snapshot with the given live set and
+// truncates the WAL. The write lock holds appends out for the duration, so
+// no record can land in the doomed segment after the snapshot cut. (The
+// Manager additionally excludes its ledger-mutation + append pairs, so the
+// live set it passes covers everything the segment recorded.)
+func (s *FileStore) Compact(live []PersistedJob) error {
+	if s.closed.Load() {
+		return errStoreClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.mu.Lock()
+	seq := s.wal.seq
+	s.wal.mu.Unlock()
+	if live == nil {
+		live = []PersistedJob{}
+	}
+	snap := walSnapshot{Format: snapshotFormat, WALSeq: seq, SavedAt: time.Now(), Jobs: live}
+	if err := writeSnapshot(s.dir, snapshotFileName, snap); err != nil {
+		return err
+	}
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	s.compactions.Add(1)
+	return nil
+}
+
+// Stats reports the durability gauges.
+func (s *FileStore) Stats() StoreStats {
+	records, bytes := s.wal.stats()
+	return StoreStats{
+		Durable:      true,
+		WALRecords:   records,
+		WALBytes:     bytes,
+		Compactions:  s.compactions.Load(),
+		Recovered:    len(s.recovered),
+		ReplayErrors: s.replayErrors,
+	}
+}
+
+// Close syncs and closes the WAL segment.
+func (s *FileStore) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.wal.close()
+}

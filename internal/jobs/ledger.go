@@ -1,0 +1,137 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// ledger.go is the live in-memory job index: id → record plus insertion
+// order, backing lookup, listing, TTL sweeps, and capacity eviction. The
+// ledger is always authoritative for what the API serves; the Store
+// (store.go) is the durable shadow of it that restarts are rebuilt from.
+
+// ledger is the runtime index of retained records.
+type ledger struct {
+	mu    sync.Mutex
+	byID  map[string]*record
+	order []*record // created ascending
+}
+
+func newLedger() *ledger {
+	return &ledger{byID: make(map[string]*record)}
+}
+
+func (s *ledger) put(r *record) {
+	s.mu.Lock()
+	s.byID[r.id] = r
+	s.order = append(s.order, r)
+	s.mu.Unlock()
+}
+
+func (s *ledger) get(id string) (*record, bool) {
+	s.mu.Lock()
+	r, ok := s.byID[id]
+	s.mu.Unlock()
+	return r, ok
+}
+
+func (s *ledger) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// all returns the records newest-first (the listing order).
+func (s *ledger) all() []*record {
+	s.mu.Lock()
+	out := make([]*record, len(s.order))
+	for i, r := range s.order {
+		out[len(s.order)-1-i] = r
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// oldestFirst returns the records in creation order (the compaction order,
+// matching what Recover will rebuild).
+func (s *ledger) oldestFirst() []*record {
+	s.mu.Lock()
+	out := append([]*record(nil), s.order...)
+	s.mu.Unlock()
+	return out
+}
+
+// counts tallies records by state (the metrics gauges).
+func (s *ledger) counts() map[State]int {
+	s.mu.Lock()
+	records := append([]*record(nil), s.order...)
+	s.mu.Unlock()
+	c := make(map[State]int, len(States))
+	for _, st := range States {
+		c[st] = 0
+	}
+	for _, r := range records {
+		c[r.currentState()]++
+	}
+	return c
+}
+
+// sweep implements the two GC phases in one pass: terminal records whose
+// retention expired move to StateExpired (still queryable), and records
+// already expired are removed. It returns the records to expire (the caller
+// marks them outside the ledger lock) and the IDs removed (which the caller
+// forwards to the durable store).
+func (s *ledger) sweep(now time.Time, retention time.Duration) (toExpire []*record, removed []string) {
+	s.mu.Lock()
+	kept := s.order[:0]
+	for _, r := range s.order {
+		r.mu.Lock()
+		st, finished := r.state, r.finished
+		r.mu.Unlock()
+		switch {
+		case st == StateExpired:
+			delete(s.byID, r.id)
+			removed = append(removed, r.id)
+		case st.Terminal() && now.Sub(finished) >= retention:
+			toExpire = append(toExpire, r)
+			kept = append(kept, r)
+		default:
+			kept = append(kept, r)
+		}
+	}
+	// Zero the freed tail so removed records are collectible.
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+	s.mu.Unlock()
+	return toExpire, removed
+}
+
+// hasFinished reports whether any retained record is terminal (evictable).
+func (s *ledger) hasFinished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.order {
+		if r.currentState().Terminal() {
+			return true
+		}
+	}
+	return false
+}
+
+// evictOldestFinished drops the oldest terminal record to make room at the
+// MaxJobs cap, returning its ID. It returns "" when every retained job is
+// still live.
+func (s *ledger) evictOldestFinished() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.order {
+		if r.currentState().Terminal() {
+			delete(s.byID, r.id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return r.id
+		}
+	}
+	return ""
+}

@@ -16,9 +16,19 @@ import (
 // engine that reports progress until its context dies.
 type fakeBackend struct {
 	submit func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	replay func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
 }
 
 func (f *fakeBackend) SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+	return f.submit(ctx, j)
+}
+
+// SubmitReplayCtx scripts the recovery path: replay, unless overridden,
+// behaves like a regular submission (the fake has no admission bound).
+func (f *fakeBackend) SubmitReplayCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+	if f.replay != nil {
+		return f.replay(ctx, j)
+	}
 	return f.submit(ctx, j)
 }
 
@@ -524,6 +534,70 @@ func TestCloseDrainsThenForcesCancellation(t *testing.T) {
 	// Close is idempotent.
 	if err := m.Close(context.Background()); err != nil {
 		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestGCSubscribeRaceNeverLosesTerminalEvent is the regression test for the
+// TTL-GC vs. subscriber-attach race on one job ID: a GC sweep can decide to
+// expire (or remove) a record in the same instant a subscriber registers on
+// it. The audited invariants — addSub happens before the pump's first
+// snapshot read, the pump re-reads the snapshot after every wake-up, and
+// expire()/notifyAll() follow states that only move rightward — mean every
+// subscriber that found the record must observe exactly one terminal event
+// and the stream must close; a subscriber that lost the lookup race gets
+// ErrNotFound. Run under -race in CI, this also proves the window is free of
+// data races (no generation check was needed: a subscriber attached to a
+// record GC already unlinked still sees its terminal state, it just streams
+// one event for a job whose GET now 404s).
+func TestGCSubscribeRaceNeverLosesTerminalEvent(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		m := jobs.New(jobs.Config{Backend: instantBackend(), Retention: time.Nanosecond, GCInterval: time.Hour})
+		snap, err := m.Submit(job(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, snap.ID, jobs.StateDone)
+
+		// One goroutine drives both GC phases while another subscribes.
+		sweep := make(chan struct{})
+		go func() {
+			defer close(sweep)
+			m.GC(time.Now().Add(time.Minute)) // done → expired
+			m.GC(time.Now().Add(time.Minute)) // expired → removed
+		}()
+		events, cancel, err := m.Subscribe(snap.ID)
+		if err != nil {
+			// The sweep won the lookup race: the job is gone, which a GET
+			// would report the same way.
+			if !errors.Is(err, jobs.ErrNotFound) {
+				t.Fatalf("subscribe may only fail NotFound, got %v", err)
+			}
+			<-sweep
+			closeNow(t, m)
+			continue
+		}
+		var final jobs.Event
+		got := 0
+		timeout := time.After(5 * time.Second)
+	drain:
+		for {
+			select {
+			case ev, open := <-events:
+				if !open {
+					break drain
+				}
+				got++
+				final = ev
+			case <-timeout:
+				t.Fatal("subscriber hung: terminal event lost to the GC race")
+			}
+		}
+		if got == 0 || !final.Terminal {
+			t.Fatalf("subscriber must see a terminal event, got %d events (last %+v)", got, final)
+		}
+		cancel()
+		<-sweep
+		closeNow(t, m)
 	}
 }
 

@@ -1,0 +1,92 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// snapshot.go is the compaction half of the durable store: a snapshot is
+// the full live job set at one WAL sequence number, written atomically
+// (temp file + fsync + rename + directory fsync) so a crash mid-compaction
+// leaves the previous snapshot intact. Recovery loads the snapshot first,
+// then replays the WAL on top; compaction truncates the WAL once the
+// snapshot that subsumes it is durable.
+
+// snapshotFormat versions the on-disk layout; bump on incompatible change.
+const snapshotFormat = 1
+
+// walSnapshot is the snapshot file's JSON document.
+type walSnapshot struct {
+	Format  int            `json:"format"`
+	WALSeq  int64          `json:"wal_seq"` // last WAL sequence folded in
+	SavedAt time.Time      `json:"saved_at"`
+	Jobs    []PersistedJob `json:"jobs"`
+}
+
+// writeSnapshot atomically replaces dir/name with the given snapshot.
+func writeSnapshot(dir, name string, snap walSnapshot) error {
+	buf, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { os.Remove(tmpName) }
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		cleanup()
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshot reads dir/name; a missing file is an empty snapshot. A
+// corrupt snapshot is an error — it is the recovery baseline, and silently
+// dropping it would discard every compacted job.
+func loadSnapshot(dir, name string) (walSnapshot, error) {
+	var snap walSnapshot
+	buf, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return snap, nil
+		}
+		return snap, err
+	}
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return snap, fmt.Errorf("jobs: snapshot %s is corrupt: %w", name, err)
+	}
+	if snap.Format != snapshotFormat {
+		return snap, fmt.Errorf("jobs: snapshot %s has format %d, want %d", name, snap.Format, snapshotFormat)
+	}
+	return snap, nil
+}
+
+// syncDir fsyncs a directory so a rename in it is durable. Best-effort on
+// platforms where directories cannot be opened for sync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,358 +1,232 @@
 package jobs
 
 import (
-	"context"
 	"errors"
-	"sync"
-	"sync/atomic"
+	"sort"
 	"time"
 
 	"graphrealize"
 )
 
-// store.go holds the job ledger: the lifecycle states, the per-job record
-// with its concurrency contract, and the mutex-guarded map + insertion-order
-// list that backs lookup, listing, TTL sweeps, and capacity eviction.
-
-// State is a job's position in the lifecycle
+// store.go is the durability contract of the job subsystem: a Store receives
+// every externally meaningful lifecycle event and can replay the surviving
+// set on open. The Manager treats the Store as a shadow of its in-memory
+// ledger — the ledger serves traffic, the Store makes restarts boring.
 //
-//	queued → running → done | failed | canceled → expired → (removed)
-//
-// Transitions only move rightward. A job may skip "running" (a cache-served
-// or immediately failing job goes queued → done/failed directly), and every
-// terminal outcome passes through "expired" for one GC interval before the
-// record is removed, so clients polling a finished job see its state age out
-// before their GETs start returning 404.
-type State string
+// Two implementations ship: MemStore (the historical behaviour — nothing
+// survives the process) and FileStore (append-only WAL plus compacted
+// snapshots, wal.go/snapshot.go/filestore.go).
 
-const (
-	// StateQueued: admitted by the Runner but not yet executing.
-	StateQueued State = "queued"
-	// StateRunning: the simulation has started (first progress barrier seen).
-	StateRunning State = "running"
-	// StateDone: finished with a result (which may be ErrUnrealizable-free
-	// graph output; realization failures of the input are StateFailed).
-	StateDone State = "done"
-	// StateFailed: finished with an error (unrealizable input, strict-mode
-	// violation, job timeout, ...).
-	StateFailed State = "failed"
-	// StateCanceled: stopped by DELETE or manager drain before completing;
-	// the engine unwound at a round barrier (ncc.ErrCanceled → ctx error).
-	StateCanceled State = "canceled"
-	// StateExpired: a terminal job past its retention TTL, queryable for one
-	// more GC interval before the record is dropped.
-	StateExpired State = "expired"
-)
+// PersistedOptions is the JSON-serializable projection of
+// graphrealize.Options: every field that affects a run's outcome — the same
+// set as the Runner's cache key — and nothing else. In particular the
+// Progress hook is reattached by the Manager on recovery, never persisted.
+type PersistedOptions struct {
+	Model     int   `json:"model,omitempty"`
+	Seed      int64 `json:"seed,omitempty"`
+	Strict    bool  `json:"strict,omitempty"`
+	CapMul    int   `json:"cap_mul,omitempty"`
+	Sort      int   `json:"sort,omitempty"`
+	MaxRounds int   `json:"max_rounds,omitempty"`
+}
 
-// States lists every state in lifecycle order (for metrics exposition).
-var States = []State{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateExpired}
-
-// Terminal reports whether no further execution can happen in this state.
-func (s State) Terminal() bool {
-	switch s {
-	case StateDone, StateFailed, StateCanceled, StateExpired:
-		return true
+func persistedOptions(o *graphrealize.Options) *PersistedOptions {
+	if o == nil {
+		return nil
 	}
-	return false
-}
-
-// ParseState resolves a wire string ("queued", "running", ...) to a State.
-func ParseState(s string) (State, bool) {
-	for _, st := range States {
-		if string(st) == s {
-			return st, true
-		}
-	}
-	return "", false
-}
-
-// Snapshot is an immutable copy of a job's externally visible state. Result
-// points at the shared job outcome and must be treated as read-only (the
-// same convention as Runner cache hits).
-type Snapshot struct {
-	ID       string
-	Kind     graphrealize.JobKind
-	Label    string
-	N        int // sequence length
-	State    State
-	Round    int // rounds completed at the last progress barrier
-	Messages int // messages delivered at the last progress barrier
-	Created  time.Time
-	Started  time.Time // zero until the first progress barrier
-	Finished time.Time // zero until terminal
-	Err      error     // non-nil in failed/canceled
-	Result   *graphrealize.Result
-}
-
-// record is one job's full server-side state. Concurrency contract:
-//
-//   - round/msgs are written lock-free by the engine's driver goroutine at
-//     every barrier and read via atomics by snapshot().
-//   - subs is copy-on-write: notifyAll (engine goroutine, once per round)
-//     loads the pointer without locking; addSub/removeSub swap in a copy
-//     under mu.
-//   - everything else (state, times, result) is guarded by mu; writers are
-//     the manager (submit/cancel/GC) and the per-job watch goroutine.
-type record struct {
-	id      string
-	job     graphrealize.Job
-	created time.Time
-	cancel  context.CancelFunc
-
-	round atomic.Int64
-	msgs  atomic.Int64
-	ran   atomic.Bool // guards the one-time queued → running transition
-	subs  atomic.Pointer[[]chan struct{}]
-
-	mu       sync.Mutex
-	state    State
-	started  time.Time
-	finished time.Time
-	result   *graphrealize.Result
-	err      error
-}
-
-// reportProgress is installed as the job's Options.Progress hook. It runs on
-// the simulation's driver goroutine between rounds, so the hot path is two
-// atomic stores and a lock-free fan-out; only the first call (the queued →
-// running transition) takes the record mutex. The transition happens before
-// the watermark stores so that — together with snapshot() loading the
-// atomics first — no snapshot can ever pair state "queued" with non-zero
-// progress.
-func (r *record) reportProgress(round, msgs int) {
-	if r.ran.CompareAndSwap(false, true) {
-		r.mu.Lock()
-		if r.state == StateQueued {
-			r.state = StateRunning
-			r.started = time.Now()
-		}
-		r.mu.Unlock()
-	}
-	r.round.Store(int64(round))
-	r.msgs.Store(int64(msgs))
-	r.notifyAll()
-}
-
-// finish records the job's outcome. It runs exactly once, on the watch
-// goroutine, after the Runner's result channel delivered — by which time the
-// engine has unwound, so no progress callback can race the terminal state.
-func (r *record) finish(res graphrealize.Result) {
-	r.mu.Lock()
-	switch {
-	case res.Err == nil:
-		r.state = StateDone
-		r.result = &res
-	case errors.Is(res.Err, context.Canceled):
-		r.state = StateCanceled
-		r.err = res.Err
-	default:
-		// Timeouts (DeadlineExceeded), unrealizable inputs, strict-mode
-		// violations: the job ran and failed.
-		r.state = StateFailed
-		r.err = res.Err
-	}
-	r.finished = time.Now()
-	r.mu.Unlock()
-	r.cancel() // release the per-job context's resources
-	r.notifyAll()
-}
-
-// expire moves a terminal record into StateExpired (first GC phase).
-func (r *record) expire() {
-	r.mu.Lock()
-	r.state = StateExpired
-	r.mu.Unlock()
-	r.notifyAll()
-}
-
-func (r *record) snapshot() Snapshot {
-	// Watermarks first, state second: a non-zero round implies the running
-	// transition already happened (reportProgress orders it before the
-	// stores), so the snapshot can lag in progress but never claim "queued"
-	// while carrying progress.
-	round := int(r.round.Load())
-	msgs := int(r.msgs.Load())
-	r.mu.Lock()
-	snap := Snapshot{
-		ID:       r.id,
-		Kind:     r.job.Kind,
-		Label:    r.job.Label,
-		N:        len(r.job.Seq),
-		State:    r.state,
-		Round:    round,
-		Messages: msgs,
-		Created:  r.created,
-		Started:  r.started,
-		Finished: r.finished,
-		Err:      r.err,
-		Result:   r.result,
-	}
-	r.mu.Unlock()
-	return snap
-}
-
-func (r *record) currentState() State {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.state
-}
-
-func (r *record) addSub(sig chan struct{}) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	old := r.subs.Load()
-	list := make([]chan struct{}, 0, 1)
-	if old != nil {
-		list = append(list, *old...)
-	}
-	list = append(list, sig)
-	r.subs.Store(&list)
-}
-
-func (r *record) removeSub(sig chan struct{}) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	old := r.subs.Load()
-	if old == nil {
-		return
-	}
-	list := make([]chan struct{}, 0, len(*old))
-	for _, s := range *old {
-		if s != sig {
-			list = append(list, s)
-		}
-	}
-	r.subs.Store(&list)
-}
-
-// notifyAll posts a coalescing wake-up to every subscriber: each signal
-// channel has capacity 1, so a slow consumer accumulates at most one pending
-// token and re-reads the latest snapshot when it drains it. States only move
-// forward, so coalescing can never hide a terminal transition.
-func (r *record) notifyAll() {
-	subs := r.subs.Load()
-	if subs == nil {
-		return
-	}
-	for _, sig := range *subs {
-		select {
-		case sig <- struct{}{}:
-		default:
-		}
+	return &PersistedOptions{
+		Model:     int(o.Model),
+		Seed:      o.Seed,
+		Strict:    o.Strict,
+		CapMul:    o.CapMul,
+		Sort:      int(o.Sort),
+		MaxRounds: o.MaxRounds,
 	}
 }
 
-// store is the ledger: id → record plus creation order for listing and GC.
-type store struct {
-	mu    sync.Mutex
-	byID  map[string]*record
-	order []*record // created ascending
-}
-
-func newStore() *store {
-	return &store{byID: make(map[string]*record)}
-}
-
-func (s *store) put(r *record) {
-	s.mu.Lock()
-	s.byID[r.id] = r
-	s.order = append(s.order, r)
-	s.mu.Unlock()
-}
-
-func (s *store) get(id string) (*record, bool) {
-	s.mu.Lock()
-	r, ok := s.byID[id]
-	s.mu.Unlock()
-	return r, ok
-}
-
-func (s *store) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.byID)
-}
-
-// all returns the records newest-first (the listing order).
-func (s *store) all() []*record {
-	s.mu.Lock()
-	out := make([]*record, len(s.order))
-	for i, r := range s.order {
-		out[len(s.order)-1-i] = r
+func (p *PersistedOptions) options() *graphrealize.Options {
+	if p == nil {
+		return nil
 	}
-	s.mu.Unlock()
+	return &graphrealize.Options{
+		Model:     graphrealize.Model(p.Model),
+		Seed:      p.Seed,
+		Strict:    p.Strict,
+		CapMul:    p.CapMul,
+		Sort:      graphrealize.SortMethod(p.Sort),
+		MaxRounds: p.MaxRounds,
+	}
+}
+
+// PersistedResult is a done job's realization in durable form: the graph as
+// a (u < v) edge list plus the run statistics. Stats is stored by value —
+// it is plain integers.
+type PersistedResult struct {
+	N        int                `json:"n"`
+	Edges    [][2]int           `json:"edges"`
+	Envelope []int              `json:"envelope,omitempty"`
+	Stats    graphrealize.Stats `json:"stats"`
+	Cached   bool               `json:"cached,omitempty"`
+}
+
+func persistedResult(res *graphrealize.Result) *PersistedResult {
+	if res == nil || res.Graph == nil {
+		return nil
+	}
+	out := &PersistedResult{
+		N:        res.Graph.N,
+		Edges:    res.Graph.Edges(),
+		Envelope: res.Envelope,
+		Cached:   res.Cached,
+	}
+	if res.Stats != nil {
+		out.Stats = *res.Stats
+	}
 	return out
 }
 
-// counts tallies records by state (the metrics gauges).
-func (s *store) counts() map[State]int {
-	s.mu.Lock()
-	records := append([]*record(nil), s.order...)
-	s.mu.Unlock()
-	c := make(map[State]int, len(States))
-	for _, st := range States {
-		c[st] = 0
+// result rebuilds the shared Result a recovered done-job serves.
+func (p *PersistedResult) result(j graphrealize.Job) *graphrealize.Result {
+	if p == nil {
+		return nil
 	}
-	for _, r := range records {
-		c[r.currentState()]++
+	g := &graphrealize.Graph{N: p.N, Adj: make([][]int, p.N)}
+	for _, e := range p.Edges {
+		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+		g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
 	}
-	return c
+	for _, a := range g.Adj {
+		sort.Ints(a)
+	}
+	st := p.Stats
+	return &graphrealize.Result{Job: j, Graph: g, Envelope: p.Envelope, Stats: &st, Cached: p.Cached}
 }
 
-// sweep implements the two GC phases in one pass: terminal records whose
-// retention expired move to StateExpired (still queryable), and records
-// already expired are removed. It returns the records to expire (the caller
-// marks them outside the store lock) and the number removed.
-func (s *store) sweep(now time.Time, retention time.Duration) (toExpire []*record, removed int) {
-	s.mu.Lock()
-	kept := s.order[:0]
-	for _, r := range s.order {
-		r.mu.Lock()
-		st, finished := r.state, r.finished
-		r.mu.Unlock()
-		switch {
-		case st == StateExpired:
-			delete(s.byID, r.id)
-			removed++
-		case st.Terminal() && now.Sub(finished) >= retention:
-			toExpire = append(toExpire, r)
-			kept = append(kept, r)
-		default:
-			kept = append(kept, r)
-		}
-	}
-	// Zero the freed tail so removed records are collectible.
-	for i := len(kept); i < len(s.order); i++ {
-		s.order[i] = nil
-	}
-	s.order = kept
-	s.mu.Unlock()
-	return toExpire, removed
+// PersistedJob is one job's full durable state: enough to serve a terminal
+// job's result forever, and enough to re-run a non-terminal job
+// deterministically (the recorded seed travels in Options).
+type PersistedJob struct {
+	ID      string            `json:"id"`
+	Kind    int               `json:"kind"`
+	Seq     []int             `json:"seq"`
+	Label   string            `json:"label,omitempty"`
+	Timeout int64             `json:"timeout_ns,omitempty"`
+	Options *PersistedOptions `json:"options,omitempty"`
+
+	State    State            `json:"state"`
+	Created  time.Time        `json:"created"`
+	Started  time.Time        `json:"started,omitzero"`
+	Finished time.Time        `json:"finished,omitzero"`
+	Error    string           `json:"error,omitempty"`
+	Result   *PersistedResult `json:"result,omitempty"`
 }
 
-// hasFinished reports whether any retained record is terminal (evictable).
-func (s *store) hasFinished() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, r := range s.order {
-		if r.currentState().Terminal() {
-			return true
-		}
+// jobSpec rebuilds the Runner job a recovered record re-runs (or is keyed
+// by). The Options carry the recorded seed, so the re-run is deterministic.
+func (p *PersistedJob) jobSpec() graphrealize.Job {
+	return graphrealize.Job{
+		Kind:    graphrealize.JobKind(p.Kind),
+		Seq:     p.Seq,
+		Opt:     p.Options.options(),
+		Label:   p.Label,
+		Timeout: time.Duration(p.Timeout),
 	}
-	return false
 }
 
-// evictOldestFinished drops the oldest terminal record to make room at the
-// MaxJobs cap. It returns false when every retained job is still live.
-func (s *store) evictOldestFinished() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, r := range s.order {
-		if r.currentState().Terminal() {
-			delete(s.byID, r.id)
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			return true
-		}
+// persistedJob projects a record (plus an explicit outcome, for the
+// persist-before-publish terminal path) onto its durable form.
+func persistedJob(rec *record, st State, jerr error, res *graphrealize.Result, finished time.Time) PersistedJob {
+	rec.mu.Lock()
+	started := rec.started
+	rec.mu.Unlock()
+	pj := PersistedJob{
+		ID:       rec.id,
+		Kind:     int(rec.job.Kind),
+		Seq:      rec.job.Seq,
+		Label:    rec.job.Label,
+		Timeout:  int64(rec.job.Timeout),
+		Options:  persistedOptions(rec.job.Opt),
+		State:    st,
+		Created:  rec.created,
+		Started:  started,
+		Finished: finished,
 	}
-	return false
+	if jerr != nil {
+		pj.Error = jerr.Error()
+	}
+	if st == StateDone {
+		pj.Result = persistedResult(res)
+	}
+	return pj
 }
+
+// StoreStats is a point-in-time snapshot of a Store's durability gauges.
+type StoreStats struct {
+	Durable      bool  // false for MemStore
+	WALRecords   int64 // records appended to the current WAL segment
+	WALBytes     int64 // bytes in the current WAL segment
+	Compactions  int64 // snapshots written since open
+	Recovered    int   // jobs reloaded at open
+	ReplayErrors int   // corrupt/truncated WAL records dropped at open
+}
+
+// Store persists job lifecycle events and replays them on open. All methods
+// must be safe for concurrent use; LogTerminal must be durable (synced to
+// stable storage) before it returns, the other appends may be best-effort.
+// A Store error never fails the in-memory operation that triggered it — the
+// Manager counts it (Stats.PersistErrors) and serves on.
+type Store interface {
+	// Recover returns every job surviving in the store, oldest first. It is
+	// called once, before any Log call.
+	Recover() ([]PersistedJob, error)
+	// LogSubmitted appends a freshly admitted job (state queued, no result).
+	LogSubmitted(pj PersistedJob) error
+	// LogTerminal appends a job's terminal state (done jobs carry their
+	// result) and syncs it to stable storage before returning.
+	LogTerminal(pj PersistedJob) error
+	// LogExpired appends the first GC phase for one job.
+	LogExpired(id string) error
+	// LogRemoved appends the second GC phase (or a capacity eviction).
+	LogRemoved(ids []string) error
+	// Compact replaces the store's contents with the given live set: a
+	// snapshot is written and the WAL truncated, physically dropping
+	// removed jobs from disk.
+	Compact(live []PersistedJob) error
+	// Stats reports the durability gauges for /metrics.
+	Stats() StoreStats
+	// Close releases resources. No Log/Compact calls may follow.
+	Close() error
+}
+
+// MemStore is the non-durable Store: every operation is a no-op and nothing
+// survives a restart. It is the default, preserving the pre-persistence
+// behaviour of the job subsystem exactly.
+type MemStore struct{}
+
+// Recover returns no jobs: memory starts empty.
+func (MemStore) Recover() ([]PersistedJob, error) { return nil, nil }
+
+// LogSubmitted is a no-op.
+func (MemStore) LogSubmitted(PersistedJob) error { return nil }
+
+// LogTerminal is a no-op.
+func (MemStore) LogTerminal(PersistedJob) error { return nil }
+
+// LogExpired is a no-op.
+func (MemStore) LogExpired(string) error { return nil }
+
+// LogRemoved is a no-op.
+func (MemStore) LogRemoved([]string) error { return nil }
+
+// Compact is a no-op.
+func (MemStore) Compact([]PersistedJob) error { return nil }
+
+// Stats reports a non-durable store with empty gauges.
+func (MemStore) Stats() StoreStats { return StoreStats{} }
+
+// Close is a no-op.
+func (MemStore) Close() error { return nil }
+
+// errStoreClosed guards Log calls after Close (a programming error surfaced
+// as a counted persist error rather than a panic).
+var errStoreClosed = errors.New("jobs: store is closed")

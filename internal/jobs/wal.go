@@ -1,0 +1,235 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// wal.go is the append-only write-ahead log of job lifecycle events. The
+// format is one record per line:
+//
+//	<crc32-hex> <json>\n
+//
+// where the CRC (IEEE, over the JSON bytes) makes torn or bit-rotted
+// records detectable. Because the framing is line-delimited, replay can
+// resynchronize at the next newline: a record that is truncated or fails
+// its checksum is dropped and counted, and every intact record around it
+// is kept — corruption costs only the damaged records, never the suffix.
+// Two realignment guards keep one torn write from merging with the next
+// intact one: openWAL terminates a segment whose previous process died
+// mid-append (no trailing newline), and a failed in-process write poisons
+// the writer so the next append starts on a fresh line. Terminal records
+// are fsynced before the in-memory transition becomes visible, so a result
+// a client could have observed is never lost.
+
+// WAL operation codes.
+const (
+	opSubmit   = "submit"   // job admitted (state queued, full spec)
+	opTerminal = "terminal" // job reached done/failed/canceled (full spec + result)
+	opExpired  = "expired"  // GC phase one
+	opRemoved  = "removed"  // GC phase two or capacity eviction
+)
+
+// walRecord is one WAL entry. Job is set for submit/terminal, ID for
+// expired, IDs for removed.
+type walRecord struct {
+	Seq int64         `json:"seq"`
+	Op  string        `json:"op"`
+	Job *PersistedJob `json:"job,omitempty"`
+	ID  string        `json:"id,omitempty"`
+	IDs []string      `json:"ids,omitempty"`
+}
+
+// encodeWALRecord renders one record line (including the trailing newline).
+func encodeWALRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, []byte(fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload)))...)
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeWALLine verifies and parses one line (without its newline).
+func decodeWALLine(line []byte) (walRecord, error) {
+	var rec walRecord
+	crcHex, payload, ok := bytes.Cut(line, []byte{' '})
+	if !ok {
+		return rec, fmt.Errorf("jobs: wal line has no checksum separator")
+	}
+	want, err := strconv.ParseUint(string(crcHex), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("jobs: bad wal checksum field: %v", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return rec, fmt.Errorf("jobs: wal checksum mismatch (want %08x, got %08x)", want, got)
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("jobs: wal payload unmarshals dirty: %v", err)
+	}
+	return rec, nil
+}
+
+// walWriter appends records to one WAL segment file.
+type walWriter struct {
+	mu       sync.Mutex
+	f        *os.File
+	seq      int64 // last sequence number handed out
+	records  int64 // records appended to this segment
+	bytes    int64 // bytes in this segment
+	poisoned bool  // last write failed: realign with '\n' before the next
+}
+
+// openWAL opens (creating if needed) the segment for appending. startSeq is
+// the highest sequence number already in the file (from replay), so fresh
+// appends continue the numbering. A segment whose previous owner died
+// mid-append (torn tail without a newline) is terminated first, so the
+// first fresh record cannot merge into the torn line and be lost with it.
+func openWAL(path string, startSeq int64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := info.Size()
+	if size > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, size-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+			size++
+		}
+	}
+	return &walWriter{f: f, seq: startSeq, bytes: size}, nil
+}
+
+// append writes one record; sync forces it to stable storage before
+// returning (the terminal-state durability contract). A failed write may
+// have left a partial line on disk, so the writer is poisoned and the next
+// append first emits a newline — the torn fragment becomes one isolated
+// CRC-failing line instead of swallowing its successor.
+func (w *walWriter) append(rec walRecord, sync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errStoreClosed
+	}
+	if w.poisoned {
+		if _, err := w.f.Write([]byte{'\n'}); err != nil {
+			return err
+		}
+		w.poisoned = false
+		w.bytes++
+	}
+	w.seq++
+	rec.Seq = w.seq
+	line, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(line); err != nil {
+		w.poisoned = true
+		return err
+	}
+	w.records++
+	w.bytes += int64(len(line))
+	if sync {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// reset truncates the segment after a snapshot subsumed it (compaction).
+// Sequence numbering continues — records are never renumbered, so a replay
+// of snapshot + fresh WAL stays ordered.
+func (w *walWriter) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errStoreClosed
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	w.records = 0
+	w.bytes = 0
+	return w.f.Sync()
+}
+
+func (w *walWriter) stats() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL reads every intact record from the segment, in order. A missing
+// file is an empty log. Damaged lines — torn writes, bit rot, a truncated
+// tail — are dropped and counted, and replay resynchronizes at the next
+// newline: file order is append order, so the surviving records still
+// replay in the order they were logged.
+func replayWAL(path string) (recs []walRecord, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec, derr := decodeWALLine(line)
+		if derr != nil {
+			dropped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		// An unreadable tail (e.g. a line overflowing the scanner buffer)
+		// cannot be resynchronized past: count it and stop.
+		dropped++
+	}
+	return recs, dropped, nil
+}

@@ -1,0 +1,251 @@
+package jobs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// wal_test.go is the white-box half of the persistence tests: the WAL line
+// format, its checksum discipline, and the replay guarantee that corruption
+// or truncation costs only the damaged suffix. The black-box recovery tests
+// (manager + FileStore) live in persist_test.go.
+
+func walJob(id string, st State) PersistedJob {
+	return PersistedJob{
+		ID:      id,
+		Kind:    0,
+		Seq:     []int{2, 2, 2},
+		State:   st,
+		Created: time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func writeWALRecords(t *testing.T, path string, recs ...walRecord) {
+	t.Helper()
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.append(rec, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j1 := walJob("j1-aa", StateQueued)
+	j2 := walJob("j1-aa", StateDone)
+	writeWALRecords(t, path,
+		walRecord{Op: opSubmit, Job: &j1},
+		walRecord{Op: opTerminal, Job: &j2},
+		walRecord{Op: opExpired, ID: "j1-aa"},
+		walRecord{Op: opRemoved, IDs: []string{"j1-aa"}},
+	)
+	recs, dropped, err := replayWAL(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("clean replay: dropped=%d err=%v", dropped, err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("want 4 records, got %d", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != int64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	if recs[0].Op != opSubmit || recs[0].Job.State != StateQueued {
+		t.Fatalf("submit record mangled: %+v", recs[0])
+	}
+	if recs[1].Job.State != StateDone || recs[2].ID != "j1-aa" || recs[3].IDs[0] != "j1-aa" {
+		t.Fatal("payloads mangled in round trip")
+	}
+}
+
+func TestWALReplayMissingFileIsEmpty(t *testing.T) {
+	recs, dropped, err := replayWAL(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || dropped != 0 || len(recs) != 0 {
+		t.Fatalf("missing WAL must be empty: %v %d %d", err, dropped, len(recs))
+	}
+}
+
+// TestWALCorruptMiddleDropsOnlyThatRecord: a flipped byte invalidates that
+// record's checksum; replay drops it, counts it, and resynchronizes at the
+// next newline — the intact records on both sides survive.
+func TestWALCorruptMiddleDropsOnlyThatRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := walJob("j1-aa", StateQueued)
+	writeWALRecords(t, path,
+		walRecord{Op: opSubmit, Job: &j},
+		walRecord{Op: opExpired, ID: "j1-aa"},
+		walRecord{Op: opRemoved, IDs: []string{"j1-aa"}},
+	)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(buf, []byte("\n"))
+	// Flip a payload byte in the second record (past the checksum field).
+	lines[1][15] ^= 0xff
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Op != opSubmit || recs[1].Op != opRemoved {
+		t.Fatalf("want the two intact records, got %+v", recs)
+	}
+	if dropped != 1 {
+		t.Fatalf("want exactly the corrupt record dropped, got %d", dropped)
+	}
+}
+
+// TestWALTornTailRealignedOnReopen: a segment whose previous process died
+// mid-append (no trailing newline) is terminated on reopen, so the first
+// fresh append cannot merge into the torn fragment and be lost with it.
+func TestWALTornTailRealignedOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := walJob("j1-aa", StateQueued)
+	writeWALRecords(t, path, walRecord{Op: opSubmit, Job: &j})
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef torn-fragment-without-newline"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, err := openWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecord{Op: opExpired, ID: "j1-aa"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Op != opSubmit || recs[1].Op != opExpired {
+		t.Fatalf("the post-reopen append must survive the torn tail, got %+v", recs)
+	}
+	if dropped != 1 {
+		t.Fatalf("want exactly the torn fragment dropped, got %d", dropped)
+	}
+}
+
+// TestWALTruncatedTailIsDropped: a torn final write (crash mid-append) loses
+// only that record.
+func TestWALTruncatedTailIsDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := walJob("j1-aa", StateQueued)
+	done := walJob("j1-aa", StateDone)
+	writeWALRecords(t, path,
+		walRecord{Op: opSubmit, Job: &j},
+		walRecord{Op: opTerminal, Job: &done},
+	)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-way through the last record.
+	if err := os.WriteFile(path, buf[:len(buf)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != opSubmit || dropped != 1 {
+		t.Fatalf("want intact prefix + 1 dropped, got %d records, %d dropped", len(recs), dropped)
+	}
+}
+
+func TestWALResetAfterCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := openWAL(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	j := walJob("j1-aa", StateQueued)
+	if err := w.append(walRecord{Op: opSubmit, Job: &j}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.reset(); err != nil {
+		t.Fatal(err)
+	}
+	if recs, bytes := w.stats(); recs != 0 || bytes != 0 {
+		t.Fatalf("reset must zero the segment gauges, got %d/%d", recs, bytes)
+	}
+	// Sequence numbering continues across the reset.
+	if err := w.append(walRecord{Op: opExpired, ID: "j1-aa"}, false); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped, err := replayWAL(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("replay after reset: dropped=%d err=%v", dropped, err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("want one post-reset record with continued seq, got %+v", recs)
+	}
+}
+
+// FuzzWALReplay: replay must never panic or error on arbitrary file
+// contents, and — the prefix guarantee — a valid log with an arbitrary
+// suffix appended must replay at least the intact records it started with.
+func FuzzWALReplay(f *testing.F) {
+	j := walJob("j7-ff", StateQueued)
+	valid, err := encodeWALRecord(walRecord{Seq: 1, Op: opSubmit, Job: &j})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(append(append([]byte{}, valid...), []byte("deadbeef not-json\n")...))
+	f.Add([]byte("00000000 {}\n"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		recs, _, err := replayWAL(path)
+		if err != nil {
+			t.Fatalf("replay must tolerate arbitrary contents, got %v", err)
+		}
+		// Whatever survives must be checksum-clean re-encodable records.
+		for _, rec := range recs {
+			if _, err := encodeWALRecord(rec); err != nil {
+				t.Fatalf("surviving record is not re-encodable: %v", err)
+			}
+		}
+		// The prefix guarantee: prepending one valid record to the fuzzed
+		// bytes must yield at least that record.
+		withPrefix := append(append([]byte{}, valid...), data...)
+		if err := os.WriteFile(path, withPrefix, 0o644); err != nil {
+			t.Skip()
+		}
+		recs, _, err = replayWAL(path)
+		if err != nil {
+			t.Fatalf("replay with valid prefix: %v", err)
+		}
+		if len(recs) == 0 || recs[0].Op != opSubmit || recs[0].Job == nil || recs[0].Job.ID != "j7-ff" {
+			t.Fatalf("valid prefix record lost: %+v", recs)
+		}
+	})
+}

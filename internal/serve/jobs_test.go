@@ -251,6 +251,67 @@ func TestJobListEndpoint(t *testing.T) {
 	}
 }
 
+// TestJobRecoveredFlagOnWire: a job reloaded from a durable store serves
+// its persisted result with "recovered":true, and /metrics exposes the
+// recovery counters.
+func TestJobRecoveredFlagOnWire(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*jobs.Manager, http.Handler) {
+		fs, err := jobs.OpenFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runner := graphrealize.NewRunner(2)
+		m, err := jobs.Open(jobs.Config{Backend: runner, Store: fs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, serve.New(serve.Config{Backend: runner, Jobs: m}).Handler()
+	}
+
+	m1, h1 := open()
+	rec := do(t, h1, http.MethodPost, "/v1/jobs", `{"kind":"degrees","sequence":[3,3,2,2,2,2],"options":{"seed":7}}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("want 202, got %d: %s", rec.Code, rec.Body.String())
+	}
+	j := decodeInto[serve.JobJSON](t, rec)
+	if j.Recovered {
+		t.Fatal("a freshly submitted job must not be marked recovered")
+	}
+	before := pollJob(t, h1, j.ID, "done")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, h2 := open()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = m2.Close(ctx)
+	}()
+	got := pollJob(t, h2, j.ID, "done")
+	if !got.Recovered {
+		t.Fatalf("reloaded job must carry recovered: %+v", got)
+	}
+	if got.Result == nil || got.Result.M != before.Result.M || len(got.Result.Edges) != len(before.Result.Edges) {
+		t.Fatalf("persisted result must be served after restart: %+v", got.Result)
+	}
+	metrics := do(t, h2, http.MethodGet, "/metrics", "")
+	body := metrics.Body.String()
+	for _, want := range []string{
+		"graphrealize_async_store_durable 1",
+		"graphrealize_async_recovered_terminal_total 1",
+		"graphrealize_async_wal_records",
+		"graphrealize_async_compactions_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
 func TestJobSubmitBackpressure(t *testing.T) {
 	fb := &fakeBackend{
 		submit: func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {

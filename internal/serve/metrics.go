@@ -12,6 +12,13 @@ import (
 // execution counters, and — when the async subsystem is enabled — the job
 // manager's per-state gauges, subscriber gauge, and GC eviction counter.
 
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // metricsWriter accumulates one exposition document.
 type metricsWriter struct {
 	b strings.Builder
@@ -68,6 +75,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.gauge("graphrealize_async_retained_jobs", "Total retained async job records.", float64(js.Retained))
 		mw.gauge("graphrealize_async_subscribers", "Open job event subscriptions.", float64(js.Subscribers))
 		mw.counter("graphrealize_async_evictions_total", "Async job records removed by GC or capacity eviction.", float64(js.Evictions))
+
+		// Durability: recovery outcomes of the last restart plus the live
+		// WAL/compaction gauges (all zero when -data-dir is unset).
+		mw.gauge("graphrealize_async_store_durable", "1 when jobs are persisted to a data dir, 0 for in-memory.", b2f(js.Store.Durable))
+		mw.counter("graphrealize_async_recovered_terminal_total", "Terminal jobs reloaded from the durable store at startup.", float64(js.RecoveredTerminal))
+		mw.counter("graphrealize_async_recovered_requeued_total", "In-flight jobs re-queued from the durable store at startup.", float64(js.RecoveredRequeued))
+		mw.counter("graphrealize_async_persist_errors_total", "Durable-store operations that failed (durability degraded).", float64(js.PersistErrors))
+		// Segment gauges, not counters: both reset to zero at every
+		// compaction, when the WAL is truncated into the snapshot.
+		mw.gauge("graphrealize_async_wal_records", "Lifecycle records in the current WAL segment.", float64(js.Store.WALRecords))
+		mw.gauge("graphrealize_async_wal_bytes", "Bytes in the current WAL segment.", float64(js.Store.WALBytes))
+		mw.counter("graphrealize_async_compactions_total", "Snapshot compactions since startup.", float64(js.Store.Compactions))
+		mw.counter("graphrealize_async_wal_replay_errors_total", "Corrupt or truncated WAL records dropped at startup.", float64(js.Store.ReplayErrors))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

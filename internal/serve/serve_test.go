@@ -25,6 +25,12 @@ func (f *fakeBackend) SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan
 	return f.submit(ctx, j)
 }
 
+// SubmitReplayCtx satisfies jobs.Backend (the manager's recovery path); the
+// fake has no admission bound to bypass, so it scripts like SubmitCtx.
+func (f *fakeBackend) SubmitReplayCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+	return f.submit(ctx, j)
+}
+
 func (f *fakeBackend) SubmitAllCtx(ctx context.Context, jobs []graphrealize.Job) ([]<-chan graphrealize.Result, error) {
 	chans := make([]<-chan graphrealize.Result, len(jobs))
 	for i, j := range jobs {

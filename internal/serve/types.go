@@ -235,6 +235,9 @@ type JobJSON struct {
 	FinishedAt *time.Time       `json:"finished_at,omitempty"`
 	Error      string           `json:"error,omitempty"`
 	Result     *RealizeResponse `json:"result,omitempty"`
+	// Recovered marks a job reloaded (terminal) or re-queued (in-flight)
+	// from the durable store after a restart (grserved -data-dir).
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // jobJSON projects a snapshot onto the wire. includeResult attaches the
@@ -249,6 +252,7 @@ func jobJSON(snap jobs.Snapshot, includeResult, omitEdges bool) JobJSON {
 		Round:     snap.Round,
 		Messages:  snap.Messages,
 		CreatedAt: snap.Created,
+		Recovered: snap.Recovered,
 	}
 	if !snap.Started.IsZero() {
 		t := snap.Started

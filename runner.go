@@ -133,6 +133,7 @@ type Runner struct {
 
 	submitted atomic.Int64
 	rejected  atomic.Int64
+	replayed  atomic.Int64
 	executed  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -235,7 +236,23 @@ func (r *Runner) SubmitCtx(ctx context.Context, j Job) (<-chan Result, error) {
 		r.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
-	return r.start(ctx, j), nil
+	return r.start(ctx, j, true), nil
+}
+
+// SubmitReplayCtx enqueues one job recovered from a durable job log,
+// bypassing the admission bound: the job consumed an admission unit before
+// the crash, so a colder post-restart queue must not refuse it with
+// ErrQueueFull. Execution still shares the worker pool (a replay burst
+// cannot starve the machine, only the waiting line), cached results are
+// served as usual, and the context/timeout semantics match SubmitCtx. The
+// error return is always nil for a Runner; it exists so scripted Backend
+// seams can exercise refusal paths.
+func (r *Runner) SubmitReplayCtx(ctx context.Context, j Job) (<-chan Result, error) {
+	if out, ok := r.cachedFastPath(j); ok {
+		return out, nil
+	}
+	r.replayed.Add(1)
+	return r.start(ctx, j, false), nil
 }
 
 // SubmitAllCtx admits a batch of jobs atomically: either every non-cached
@@ -258,7 +275,7 @@ func (r *Runner) SubmitAllCtx(ctx context.Context, jobs []Job) ([]<-chan Result,
 		return nil, ErrQueueFull
 	}
 	for _, i := range misses {
-		chans[i] = r.start(ctx, jobs[i])
+		chans[i] = r.start(ctx, jobs[i], true)
 	}
 	return chans, nil
 }
@@ -283,16 +300,19 @@ func (r *Runner) cachedFastPath(j Job) (<-chan Result, bool) {
 	return out, true
 }
 
-// start launches one job that already holds an admission unit. The
-// admission unit is released before the Result becomes receivable.
-func (r *Runner) start(ctx context.Context, j Job) <-chan Result {
+// start launches one job. admitted reports whether it holds an admission
+// unit (replayed jobs do not); a held unit is released before the Result
+// becomes receivable.
+func (r *Runner) start(ctx context.Context, j Job, admitted bool) <-chan Result {
 	r.submitted.Add(1)
 	r.queued.Add(1)
 	enqueued := time.Now()
 	out := make(chan Result, 1)
 	go func() {
 		res := r.executeAdmitted(ctx, j, enqueued)
-		r.releaseAdmit(1)
+		if admitted {
+			r.releaseAdmit(1)
+		}
 		out <- res
 	}()
 	return out
@@ -354,6 +374,7 @@ type RunnerStats struct {
 
 	Submitted int64 // submissions accepted (including cache-served)
 	Rejected  int64 // submissions refused with ErrQueueFull
+	Replayed  int64 // recovered jobs re-admitted outside the admission bound
 	Executed  int64 // jobs that acquired a worker (the latency denominators)
 	Completed int64 // executed jobs that finished without error
 	Failed    int64 // executed jobs that finished with a non-cancellation error
@@ -377,6 +398,7 @@ func (r *Runner) Stats() RunnerStats {
 		Queued:     int(r.queued.Load()),
 		Submitted:  r.submitted.Load(),
 		Rejected:   r.rejected.Load(),
+		Replayed:   r.replayed.Load(),
 		Executed:   r.executed.Load(),
 		Completed:  r.completed.Load(),
 		Failed:     r.failed.Load(),

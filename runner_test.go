@@ -215,6 +215,52 @@ func TestRunnerBackpressure(t *testing.T) {
 	}
 }
 
+// TestRunnerReplayBypassesAdmission: the crash-recovery path must re-admit
+// jobs even when the admission queue is saturated — the replayed jobs held
+// admission units before the crash, and refusing them would break the
+// restart-recovery guarantee.
+func TestRunnerReplayBypassesAdmission(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 0})
+	release := make(chan struct{})
+	blockingExec(r, release)
+
+	ch1, err := r.SubmitCtx(context.Background(), distinctJob(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regular submission is saturated...
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("precondition: runner must be saturated, got %v", err)
+	}
+	// ...but replay is admission-exempt.
+	ch3, err := r.SubmitReplayCtx(context.Background(), distinctJob(3))
+	if err != nil {
+		t.Fatalf("replay must never be refused: %v", err)
+	}
+	close(release)
+	if res := <-ch1; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := <-ch3; res.Err != nil {
+		t.Fatalf("replayed job must execute: %v", res.Err)
+	}
+	st := r.Stats()
+	if st.Replayed != 1 {
+		t.Fatalf("want 1 replayed, got %+v", st)
+	}
+	// A replayed job releases no admission unit it never held: afterwards
+	// the pool admits exactly Workers+Queue = 1 fresh job, no more.
+	release2 := make(chan struct{})
+	blockingExec(r, release2)
+	defer close(release2)
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(4)); err != nil {
+		t.Fatalf("post-replay admission broken: %v", err)
+	}
+	if _, err := r.SubmitCtx(context.Background(), distinctJob(5)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("admission accounting corrupted by replay, got %v", err)
+	}
+}
+
 func TestRunnerQueuedJobCancellation(t *testing.T) {
 	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 1})
 	release := make(chan struct{})
