@@ -27,9 +27,10 @@ CONC        ?= 64
 REQS        ?= 500
 MIX         ?= degree,tree,connectivity
 BASE        ?= main
-BENCH_ARGS  := -run '^$$' -bench . -benchtime 3x -count 5 .
+SCHEDULER   ?= barrier
+BENCH_ARGS  := -short -run '^$$' -bench . -benchtime 3x -count 5 .
 
-.PHONY: build test race bench sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
+.PHONY: build test race bench bench-sched sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -49,15 +50,20 @@ race:
 
 # Pipe consecutive runs into benchstat to compare engine changes; the
 # delivery/barrier benchmarks track allocs/op, the batch benchmark the
-# Runner speedup over a serial loop.
+# Runner speedup over a serial loop. -short skips the ~40s/iteration
+# n=65536 batch-runner case; bench-sched measures exactly that, once,
+# under both drivers.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) test -short -run '^$$' -bench . -benchmem ./...
+
+bench-sched:
+	$(GO) test -run '^$$' -bench BenchmarkBatchRunner -benchtime 1x -count 2 .
 
 sweep:
 	$(GO) run ./cmd/degreal -n $(N) -family $(FAMILY) -seeds $(SEEDS) -workers $(WORKERS)
 
 tables:
-	$(GO) run ./cmd/benchtab -scale $(SCALE) -workers $(WORKERS)
+	$(GO) run ./cmd/benchtab -scale $(SCALE) -workers $(WORKERS) -scheduler $(SCHEDULER)
 
 # The HTTP realization service and its load generator (same commands the CI
 # e2e-smoke job runs). Set DATA_DIR to persist async jobs across restarts.

@@ -38,6 +38,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"graphrealize"
 	"graphrealize/internal/gen"
 	"graphrealize/internal/jobs"
 )
@@ -51,7 +52,15 @@ type scenario struct {
 	job func(n int, seed int64) any
 }
 
-func scenarios(variantEvery int) map[string]scenario {
+func scenarios(variantEvery int, scheduler string) map[string]scenario {
+	// opts assembles one request's options map; a non-empty -scheduler is
+	// stamped onto every request so a whole load run can target one driver.
+	opts := func(kv map[string]any) map[string]any {
+		if scheduler != "" {
+			kv["scheduler"] = scheduler
+		}
+		return kv
+	}
 	return map[string]scenario{
 		"degree": {
 			name: "degree",
@@ -64,7 +73,7 @@ func scenarios(variantEvery int) map[string]scenario {
 				return map[string]any{
 					"sequence": gen.FromRandomGraph(n, 8.0/float64(n), seed),
 					"variant":  variant,
-					"options":  map[string]any{"seed": seed},
+					"options":  opts(map[string]any{"seed": seed}),
 				}
 			},
 			job: func(n int, seed int64) any {
@@ -75,7 +84,7 @@ func scenarios(variantEvery int) map[string]scenario {
 				return map[string]any{
 					"kind":     kind,
 					"sequence": gen.FromRandomGraph(n, 8.0/float64(n), seed),
-					"options":  map[string]any{"seed": seed},
+					"options":  opts(map[string]any{"seed": seed}),
 				}
 			},
 		},
@@ -90,7 +99,7 @@ func scenarios(variantEvery int) map[string]scenario {
 				return map[string]any{
 					"sequence": gen.TreeSequence(n, seed),
 					"variant":  variant,
-					"options":  map[string]any{"seed": seed},
+					"options":  opts(map[string]any{"seed": seed}),
 				}
 			},
 			job: func(n int, seed int64) any {
@@ -101,7 +110,7 @@ func scenarios(variantEvery int) map[string]scenario {
 				return map[string]any{
 					"kind":     kind,
 					"sequence": gen.TreeSequence(n, seed),
-					"options":  map[string]any{"seed": seed},
+					"options":  opts(map[string]any{"seed": seed}),
 				}
 			},
 		},
@@ -111,14 +120,14 @@ func scenarios(variantEvery int) map[string]scenario {
 			body: func(n int, seed int64) any {
 				return map[string]any{
 					"sequence": gen.UniformRho(n, 4, seed),
-					"options":  map[string]any{"seed": seed, "model": "ncc1"},
+					"options":  opts(map[string]any{"seed": seed, "model": "ncc1"}),
 				}
 			},
 			job: func(n int, seed int64) any {
 				return map[string]any{
 					"kind":     "connectivity",
 					"sequence": gen.UniformRho(n, 4, seed),
-					"options":  map[string]any{"seed": seed, "model": "ncc1"},
+					"options":  opts(map[string]any{"seed": seed, "model": "ncc1"}),
 				}
 			},
 		},
@@ -126,12 +135,16 @@ func scenarios(variantEvery int) map[string]scenario {
 			name: "sweep",
 			path: "/v1/sweep",
 			body: func(n int, seed int64) any {
-				return map[string]any{
+				req := map[string]any{
 					"kind":       "degrees",
 					"sequence":   gen.FromRandomGraph(n, 8.0/float64(n), seed),
 					"seed_count": 4,
 					"seed_start": seed,
 				}
+				if scheduler != "" {
+					req["options"] = opts(map[string]any{})
+				}
+				return req
 			},
 		},
 	}
@@ -153,13 +166,18 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
 	async := flag.Bool("async", false, "drive every other request through the async job API (submit/poll/stream/cancel)")
+	scheduler := flag.String("scheduler", "", "simulator driver to request: barrier or pool (empty = server default)")
 	flag.Parse()
 
 	if *requests <= 0 || *conc <= 0 {
 		fmt.Fprintln(os.Stderr, "grloadgen: -requests and -c must be positive")
 		os.Exit(2)
 	}
-	all := scenarios(5)
+	if _, err := graphrealize.ParseScheduler(*scheduler); err != nil {
+		fmt.Fprintf(os.Stderr, "grloadgen: %v\n", err)
+		os.Exit(2)
+	}
+	all := scenarios(5, *scheduler)
 	var slots []scenario
 	for _, entry := range strings.Split(*mixFlag, ",") {
 		name, weightStr, hasWeight := strings.Cut(strings.TrimSpace(entry), ":")

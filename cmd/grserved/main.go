@@ -54,11 +54,16 @@ func main() {
 	jobGC := flag.Duration("job-gc", 0, "async job GC sweep interval (0 = job-ttl/4, capped at 30s)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained async job records before eviction/backpressure")
 	dataDir := flag.String("data-dir", "", "directory for durable async job state (empty = in-memory only)")
+	scheduler := flag.String("scheduler", "barrier", "default simulator driver for requests that don't pick one: barrier or pool")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "grserved: ", log.LstdFlags)
+	defSched, err := graphrealize.ParseScheduler(*scheduler)
+	if err != nil {
+		logger.Fatalf("-scheduler: %v", err)
+	}
 	runner := graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{
 		Workers:    *workers,
 		Queue:      *queue,
@@ -90,10 +95,11 @@ func main() {
 			*dataDir, js.RecoveredTerminal, js.RecoveredRequeued, js.Store.ReplayErrors)
 	}
 	cfg := serve.Config{
-		Backend:  runner,
-		Jobs:     manager,
-		MaxN:     *maxN,
-		MaxSeeds: *maxSeeds,
+		Backend:          runner,
+		Jobs:             manager,
+		MaxN:             *maxN,
+		MaxSeeds:         *maxSeeds,
+		DefaultScheduler: defSched,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -110,8 +116,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d job-ttl=%s)",
-		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN, *jobTTL)
+	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d job-ttl=%s scheduler=%s)",
+		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN, *jobTTL, defSched)
 	if *workers <= 0 {
 		logger.Printf("worker pool sized to GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
 	}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"graphrealize/internal/connectivity"
 	"graphrealize/internal/core"
@@ -43,6 +44,45 @@ const (
 	// NCC1 gives every node all IDs (the SPAA'19 NCC model).
 	NCC1
 )
+
+// Scheduler selects the simulator's concurrency driver. Both drivers produce
+// byte-identical results for the same Options; they differ only in how node
+// goroutines are suspended and resumed, i.e. in speed and in how heavily a
+// run leans on the Go runtime scheduler.
+type Scheduler int
+
+const (
+	// BarrierScheduler makes every released node's goroutine runnable at
+	// once each round — the default, and the reference driver.
+	BarrierScheduler Scheduler = iota
+	// PoolScheduler multiplexes node run-slices onto GOMAXPROCS workers in
+	// bounded batches, keeping the runnable set small regardless of n. Pick
+	// it for large simulations or when many jobs share one process.
+	PoolScheduler
+)
+
+// String returns the stable driver name used in flags and wire formats.
+func (s Scheduler) String() string {
+	if s == PoolScheduler {
+		return "pool"
+	}
+	return "barrier"
+}
+
+// ParseScheduler resolves a driver name as used in flags and wire formats,
+// case-insensitively; the empty string selects the default (barrier). It is
+// the single parser shared by the HTTP layer and every CLI so the accepted
+// spellings cannot drift apart.
+func ParseScheduler(s string) (Scheduler, error) {
+	switch strings.ToLower(s) {
+	case "", "barrier":
+		return BarrierScheduler, nil
+	case "pool":
+		return PoolScheduler, nil
+	default:
+		return 0, fmt.Errorf("graphrealize: unknown scheduler %q (want barrier or pool)", s)
+	}
+}
 
 // SortMethod selects the §3.1.2 sorting implementation used inside the
 // realization algorithms.
@@ -84,6 +124,9 @@ type Options struct {
 	// affect the result and is excluded from Runner cache keys: a job served
 	// from the cache completes without any progress callbacks.
 	Progress func(round, msgs int)
+	// Scheduler selects the simulator's concurrency driver. The choice never
+	// affects the result — only execution speed and memory behaviour.
+	Scheduler Scheduler
 }
 
 // Stats reports the cost of a run in the NCC model's currency.
@@ -214,6 +257,10 @@ func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config 
 	if o.Model == NCC1 {
 		model = ncc.NCC1
 	}
+	sched := ncc.SchedBarrier
+	if o.Scheduler == PoolScheduler {
+		sched = ncc.SchedPool
+	}
 	return ncc.Config{
 		N:         n,
 		Model:     model,
@@ -224,6 +271,7 @@ func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config 
 		Inputs:    inputs,
 		Stop:      ctx.Done(),
 		Progress:  o.Progress,
+		Sched:     sched,
 	}
 }
 

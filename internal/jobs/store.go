@@ -18,9 +18,11 @@ import (
 // snapshots, wal.go/snapshot.go/filestore.go).
 
 // PersistedOptions is the JSON-serializable projection of
-// graphrealize.Options: every field that affects a run's outcome — the same
-// set as the Runner's cache key — and nothing else. In particular the
-// Progress hook is reattached by the Manager on recovery, never persisted.
+// graphrealize.Options: the same field set as the Runner's cache key — every
+// outcome-affecting field plus the scheduler driver (outcome-neutral, but a
+// recovered job should re-run on the driver its client chose) — and nothing
+// else. In particular the Progress hook is reattached by the Manager on
+// recovery, never persisted.
 type PersistedOptions struct {
 	Model     int   `json:"model,omitempty"`
 	Seed      int64 `json:"seed,omitempty"`
@@ -28,6 +30,7 @@ type PersistedOptions struct {
 	CapMul    int   `json:"cap_mul,omitempty"`
 	Sort      int   `json:"sort,omitempty"`
 	MaxRounds int   `json:"max_rounds,omitempty"`
+	Scheduler int   `json:"scheduler,omitempty"`
 }
 
 func persistedOptions(o *graphrealize.Options) *PersistedOptions {
@@ -41,6 +44,7 @@ func persistedOptions(o *graphrealize.Options) *PersistedOptions {
 		CapMul:    o.CapMul,
 		Sort:      int(o.Sort),
 		MaxRounds: o.MaxRounds,
+		Scheduler: int(o.Scheduler),
 	}
 }
 
@@ -55,6 +59,7 @@ func (p *PersistedOptions) options() *graphrealize.Options {
 		CapMul:    p.CapMul,
 		Sort:      graphrealize.SortMethod(p.Sort),
 		MaxRounds: p.MaxRounds,
+		Scheduler: graphrealize.Scheduler(p.Scheduler),
 	}
 }
 

@@ -1,6 +1,13 @@
 package ncc
 
-import "testing"
+import (
+	"strconv"
+	"testing"
+)
+
+// benchSchedulers enumerates the drivers every engine benchmark runs under,
+// so benchstat output compares them side by side.
+var benchSchedulers = []SchedKind{SchedBarrier, SchedPool}
 
 // BenchmarkDeliveryPooling drives the densest delivery workload — every node
 // sends to its successor every round — so allocs/op tracks the receive-buffer
@@ -8,37 +15,49 @@ import "testing"
 // regressions.
 func BenchmarkDeliveryPooling(b *testing.B) {
 	const n, rounds = 256, 64
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := New(Config{N: n, Seed: 1})
-		_, err := s.Run(func(nd *Node) {
-			for r := 0; r < rounds; r++ {
-				if succ := nd.InitialSucc(); succ != None {
-					nd.Send(succ, Message{Kind: 1, A: int64(r)})
+	for _, sched := range benchSchedulers {
+		b.Run("sched="+sched.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := New(Config{N: n, Seed: 1, Sched: sched})
+				_, err := s.Run(func(nd *Node) {
+					for r := 0; r < rounds; r++ {
+						if succ := nd.InitialSucc(); succ != None {
+							nd.Send(succ, Message{Kind: 1, A: int64(r)})
+						}
+						nd.NextRound()
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
 				}
-				nd.NextRound()
 			}
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 
 // BenchmarkBarrierOverhead measures the scheduler's wake/park round trip
-// with no messages in flight: n nodes spinning through empty rounds.
+// with no messages in flight — n nodes spinning through empty rounds — at the
+// sizes the batch-runner benchmarks use. This isolates exactly the cost the
+// pool driver exists to cut: per-round wakeup of the whole active set.
 func BenchmarkBarrierOverhead(b *testing.B) {
-	const n, rounds = 256, 64
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s := New(Config{N: n, Seed: 1})
-		_, err := s.Run(func(nd *Node) {
-			for r := 0; r < rounds; r++ {
-				nd.NextRound()
-			}
-		})
-		if err != nil {
-			b.Fatal(err)
+	const rounds = 64
+	for _, n := range []int{256, 4096, 65536} {
+		for _, sched := range benchSchedulers {
+			b.Run("n="+strconv.Itoa(n)+"/sched="+sched.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := New(Config{N: n, Seed: 1, Sched: sched})
+					_, err := s.Run(func(nd *Node) {
+						for r := 0; r < rounds; r++ {
+							nd.NextRound()
+						}
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

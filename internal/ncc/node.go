@@ -36,6 +36,14 @@ type Node struct {
 	wakeRound int
 	killed    bool
 
+	// Pool-driver plumbing (pool.go): started records that the body's
+	// goroutine exists (bodies start lazily at first release), and poolW is
+	// the worker whose batch countdown this node checks in to, rewritten by
+	// the dispatching worker before every wake. The barrier driver leaves
+	// both untouched.
+	started bool
+	poolW   *poolWorker
+
 	outbox  []Message
 	inbox   []Message
 	retired []Message // inbox handed out at the last park; recycled next park

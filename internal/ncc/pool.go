@@ -1,0 +1,207 @@
+package ncc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// pool.go is the run-to-completion worker-pool Scheduler. The barrier driver
+// (scheduler.go) makes every released node's goroutine runnable at once, so a
+// round keeps O(active) goroutines runnable and deep in the runtime's run
+// queues. The pool driver dispatches the released set to a fixed worker pool
+// in bounded batches: each worker wakes at most poolWindow nodes, lets their
+// run-slices execute to the next Park/Depart, and only then wakes the next
+// batch. The runnable set stays ≤ workers·poolWindow regardless of n, the
+// round barrier becomes a countdown of per-worker chunks instead of N channel
+// parks, and sleeping/dead nodes — never dispatched — cost nothing.
+//
+// Node bodies are ordinary blocking functions, so each node still owns a
+// (parked, shrinkable) goroutine stack between slices — Go has no way to
+// suspend a call stack without one — but a parked goroutine that is never
+// made runnable costs only its stack. Bounding the runnable set is what makes
+// many large simulations cheap to co-schedule inside one serving process: the
+// runtime scheduler juggles a handful of runnable goroutines per job instead
+// of n per job.
+//
+// Happens-before edges (the Scheduler contract):
+//
+//	release:  engine → dispatch send → worker recv → wake send / go stmt → node
+//	check-in: node → outstanding.Add (release/acquire chain on the same
+//	          counter) → last node's ran send → worker recv → pending.Add
+//	          (same chain, per round) → last worker's allIn send → engine
+//
+// Both countdown chains are the pattern barrierScheduler already relies on:
+// every decrement is an acquire of all prior release-decrements, so AwaitAll
+// returning observes every parked node's writes.
+type poolScheduler struct {
+	workers int
+	window  int // batch size; poolWindow unless overridden in tests
+	body    func(*Node)
+	// dispatch carries one contiguous chunk of the released set per worker
+	// per round. Capacity = workers, so Release never blocks: at most
+	// `workers` chunks are outstanding, and all of them were consumed before
+	// the previous AwaitAll returned.
+	dispatch chan []*Node
+	// pending counts unfinished chunks this round; the worker that completes
+	// the last chunk hands control to the engine.
+	pending atomic.Int64
+	allIn   chan struct{}
+
+	// inline is the small-release fast path: a set that fits one batch is
+	// stashed here by Release and driven by the engine goroutine itself in
+	// AwaitAll (using eng as its pseudo-worker), skipping the worker handoff
+	// entirely. Protocols spend most rounds with small active sets — a round
+	// with ≤ one batch of runnable nodes costs exactly what the barrier
+	// driver charges, and the pool's machinery only engages when the set is
+	// large enough for dispatch to pay for itself.
+	inline []*Node
+	eng    poolWorker
+}
+
+// poolWindow bounds the run-slices a worker keeps in flight. Within a batch,
+// woken nodes run back-to-back off the runtime's local run queue — about one
+// goroutine switch per slice, none of them through the worker — and the
+// worker is woken once per batch by the last check-in. The value keeps a
+// worker's runnable nodes within the runtime's per-P local run queue (256) so
+// dispatch never spills to the lock-guarded global queue.
+const poolWindow = 256
+
+// newPoolScheduler creates a pool driver with the given worker count
+// (0 selects GOMAXPROCS). Workers are started by Spawn.
+func newPoolScheduler(workers int) *poolScheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &poolScheduler{
+		workers:  workers,
+		window:   poolWindow,
+		dispatch: make(chan []*Node, workers),
+		allIn:    make(chan struct{}, 1),
+	}
+	p.eng.ran = make(chan struct{}, 1)
+	return p
+}
+
+func (p *poolScheduler) Spawn(nodes []*Node, body func(*Node)) {
+	p.body = body
+	// A release can never exceed n nodes, so when every possible release
+	// takes the inline path the workers would idle for the whole run — skip
+	// starting them (Shutdown's close of an empty dispatch stays safe).
+	if p.workers > 1 && len(nodes) > p.window {
+		for i := 0; i < p.workers; i++ {
+			w := &poolWorker{sched: p, ran: make(chan struct{}, 1)}
+			go w.loop()
+		}
+	}
+	p.Release(nodes)
+}
+
+func (p *poolScheduler) AwaitAll() {
+	if nodes := p.inline; nodes != nil {
+		p.inline = nil
+		for len(nodes) > 0 {
+			batch := nodes
+			if len(batch) > p.window {
+				batch = nodes[:p.window]
+			}
+			nodes = nodes[len(batch):]
+			p.eng.runBatch(batch, p.body)
+		}
+		return
+	}
+	<-p.allIn
+}
+
+// Release splits the round's active set into one contiguous chunk per worker
+// and dispatches them; a set that fits one batch — or any set when there is
+// only one worker, where dispatch buys no parallelism — is deferred to
+// AwaitAll's inline fast path instead. Chunking (instead of a shared
+// per-node queue) keeps the hot path free of cross-worker contention: within
+// a chunk the only shared state is the worker's own countdown.
+func (p *poolScheduler) Release(nodes []*Node) {
+	n := len(nodes)
+	if n <= p.window || p.workers == 1 {
+		// The engine mutates its active slice only after the next AwaitAll
+		// returns, so deferring the reference (not a copy) is safe.
+		p.inline = nodes
+		return
+	}
+	chunks := p.workers
+	if n < chunks {
+		chunks = n // never dispatch an empty chunk
+	}
+	p.pending.Store(int64(chunks))
+	// Ceil-divided bounds so every chunk is within ±1 node of the others.
+	for i := 0; i < chunks; i++ {
+		lo := i * n / chunks
+		hi := (i + 1) * n / chunks
+		p.dispatch <- nodes[lo:hi]
+	}
+}
+
+func (p *poolScheduler) Park(nd *Node) {
+	nd.poolW.checkin()
+	<-nd.wake
+}
+
+func (p *poolScheduler) Depart(nd *Node) {
+	nd.poolW.checkin()
+}
+
+// Shutdown retires the worker pool. Called only after every node body has
+// departed, so no worker is mid-batch: each is blocked on (or about to reach)
+// the dispatch receive and exits when it observes the close.
+func (p *poolScheduler) Shutdown() { close(p.dispatch) }
+
+// poolWorker drives one chunk per round in batches of ≤ poolWindow slices.
+type poolWorker struct {
+	sched *poolScheduler
+	// outstanding counts the current batch's unfinished slices; the final
+	// check-in of a batch wakes the worker via ran (capacity 1: the send
+	// never blocks the parking node).
+	outstanding atomic.Int64
+	ran         chan struct{}
+}
+
+// checkin is called by a node goroutine after it has written its parked
+// state; the final check-in of a batch hands control back to the worker.
+func (w *poolWorker) checkin() {
+	if w.outstanding.Add(-1) == 0 {
+		w.ran <- struct{}{}
+	}
+}
+
+// runBatch wakes every node in batch against w's countdown and blocks until
+// the batch's last check-in hands control back.
+func (w *poolWorker) runBatch(batch []*Node, body func(*Node)) {
+	w.outstanding.Store(int64(len(batch)))
+	for _, nd := range batch {
+		nd.poolW = w
+		if nd.started {
+			nd.wake <- struct{}{}
+		} else {
+			// First release: the body starts here instead of at Spawn so
+			// the runnable set is bounded from round 0.
+			nd.started = true
+			go body(nd)
+		}
+	}
+	<-w.ran
+}
+
+func (w *poolWorker) loop() {
+	for chunk := range w.sched.dispatch {
+		win := w.sched.window
+		for len(chunk) > 0 {
+			batch := chunk
+			if len(batch) > win {
+				batch = chunk[:win]
+			}
+			chunk = chunk[len(batch):]
+			w.runBatch(batch, w.sched.body)
+		}
+		if w.sched.pending.Add(-1) == 0 {
+			w.sched.allIn <- struct{}{}
+		}
+	}
+}

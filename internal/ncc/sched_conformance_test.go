@@ -1,0 +1,291 @@
+package ncc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sched_conformance_test.go is the scheduler-conformance suite: every test
+// runs against each Scheduler driver (and against a deliberately starved
+// single-worker pool), pinning the contract that the driver choice never
+// changes a run's observable outcome — traces, metrics, error classification,
+// progress-hook ordering, and sleep fast-forwarding are all engine policy.
+
+// schedVariant names one driver configuration under test. newSim exists so
+// the suite can cover pool geometries (single worker) that Config alone
+// cannot express.
+type schedVariant struct {
+	name   string
+	newSim func(Config) *Sim
+}
+
+func schedVariants() []schedVariant {
+	return []schedVariant{
+		{"barrier", func(cfg Config) *Sim {
+			cfg.Sched = SchedBarrier
+			return New(cfg)
+		}},
+		{"pool", func(cfg Config) *Sim {
+			cfg.Sched = SchedPool
+			return New(cfg)
+		}},
+		// One worker is the maximally starved pool: every run-slice of every
+		// node serializes through a single dispatcher, so any slice that
+		// blocked on anything but the barrier would deadlock here. It also
+		// pins the engine-inline fast path for every release size.
+		{"pool-1worker", func(cfg Config) *Sim {
+			s := New(cfg)
+			s.sched = newPoolScheduler(1)
+			return s
+		}},
+		// Three workers force the chunked dispatch path even on single-core
+		// machines (where GOMAXPROCS would otherwise select one worker and
+		// every release would run inline).
+		{"pool-3workers", func(cfg Config) *Sim {
+			s := New(cfg)
+			s.sched = newPoolScheduler(3)
+			return s
+		}},
+		// A tiny window forces every chunk through the worker's
+		// multi-batch re-slicing loop (and the engine's multi-batch inline
+		// loop) regardless of GOMAXPROCS, covering the countdown reuse
+		// between batches that production sizes only hit at n > workers ×
+		// poolWindow.
+		{"pool-tinywindow", func(cfg Config) *Sim {
+			s := New(cfg)
+			p := newPoolScheduler(2)
+			p.window = 4
+			s.sched = p
+			return s
+		}},
+	}
+}
+
+// forEachScheduler runs fn as a subtest per driver variant.
+func forEachScheduler(t *testing.T, fn func(t *testing.T, v schedVariant)) {
+	t.Helper()
+	for _, v := range schedVariants() {
+		t.Run("sched="+v.name, func(t *testing.T) { fn(t, v) })
+	}
+}
+
+// mixedProto exercises every suspension kind the engine supports: fan-out
+// sends, await, timed sleep, a collective, and staggered departure times.
+func mixedProto(rounds int) func(*Node) {
+	return func(nd *Node) {
+		succ := nd.InitialSucc()
+		for r := 0; r < rounds; r++ {
+			switch {
+			case r%5 == 3 && succ != None:
+				nd.Send(succ, Message{Kind: 1, A: int64(r)})
+				nd.NextRound()
+			case r%7 == 5:
+				nd.SkipRounds(2)
+			default:
+				nd.NextRound()
+			}
+		}
+		total := nd.Collective("tally", int64(1)).(int64)
+		nd.SetOutput("total", total)
+		if succ != None {
+			nd.AddEdge(succ)
+		}
+	}
+}
+
+func registerTally(s *Sim) {
+	s.RegisterCollective("tally", func(s *Sim, ins []any) ([]any, int) {
+		var sum int64
+		for _, in := range ins {
+			if v, ok := in.(int64); ok {
+				sum += v
+			}
+		}
+		outs := make([]any, len(ins))
+		for i := range outs {
+			outs[i] = sum
+		}
+		return outs, CeilLog2(s.N())
+	})
+}
+
+// runMixed executes the mixed protocol on one driver variant and returns its
+// trace.
+func runMixed(t *testing.T, v schedVariant, n int, seed int64) *Trace {
+	t.Helper()
+	s := v.newSim(Config{N: n, Seed: seed})
+	registerTally(s)
+	tr, err := s.Run(mixedProto(24))
+	if err != nil {
+		t.Fatalf("%s: %v", v.name, err)
+	}
+	return tr
+}
+
+// tracesEqual compares everything a Trace exposes.
+func tracesEqual(t *testing.T, want, got *Trace, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Metrics, got.Metrics) {
+		t.Fatalf("%s: metrics differ:\nwant %+v\ngot  %+v", label, want.Metrics, got.Metrics)
+	}
+	if !reflect.DeepEqual(want.IDs, got.IDs) {
+		t.Fatalf("%s: ID layouts differ", label)
+	}
+	if want.Unrealizable != got.Unrealizable {
+		t.Fatalf("%s: unrealizable flags differ", label)
+	}
+	if !reflect.DeepEqual(want.Nodes, got.Nodes) {
+		t.Fatalf("%s: per-node results differ", label)
+	}
+}
+
+// TestSchedConformanceTraceIdentical is the core guarantee: same seed, same
+// protocol, byte-identical Trace on every driver, across several sizes and
+// seeds — n=1, n smaller than the pool's worker count, and n=700 > poolWindow
+// so multi-batch chunks and the dispatch path are both exercised.
+func TestSchedConformanceTraceIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 700} {
+		for _, seed := range []int64{1, 42} {
+			ref := runMixed(t, schedVariants()[0], n, seed)
+			for _, v := range schedVariants()[1:] {
+				got := runMixed(t, v, n, seed)
+				tracesEqual(t, ref, got, fmt.Sprintf("n=%d seed=%d %s", n, seed, v.name))
+			}
+		}
+	}
+}
+
+func TestSchedConformanceDeadlock(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, v schedVariant) {
+		s := v.newSim(Config{N: 5, Seed: 2})
+		_, err := s.Run(func(nd *Node) {
+			nd.AwaitMessage() // nobody will ever write
+		})
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+	})
+}
+
+func TestSchedConformanceStopAtBarrier(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, v schedVariant) {
+		stop := make(chan struct{})
+		cfg := Config{N: 4, Seed: 3, Stop: stop}
+		s := v.newSim(cfg)
+		first := s.IDs()[0]
+		tr, err := s.Run(func(nd *Node) {
+			for r := 0; ; r++ {
+				if nd.ID() == first && r == 50 {
+					close(stop)
+				}
+				nd.NextRound()
+			}
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+		if tr == nil || tr.Metrics.Rounds < 50 {
+			t.Fatalf("run stopped before the protocol closed Stop (trace %+v)", tr)
+		}
+	})
+}
+
+// TestSchedConformanceProgressOrdering pins the hook contract: one invocation
+// per barrier on the engine goroutine, (round, msgs) nondecreasing, and the
+// exact same sequence on every driver.
+func TestSchedConformanceProgressOrdering(t *testing.T) {
+	type tick struct{ round, msgs int }
+	record := func(v schedVariant) []tick {
+		var ticks []tick
+		cfg := Config{N: 6, Seed: 9, Progress: func(round, msgs int) {
+			ticks = append(ticks, tick{round, msgs})
+		}}
+		s := v.newSim(cfg)
+		registerTally(s)
+		if _, err := s.Run(mixedProto(16)); err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		return ticks
+	}
+	variants := schedVariants()
+	ref := record(variants[0])
+	if len(ref) == 0 {
+		t.Fatal("progress hook never fired")
+	}
+	for i := 1; i < len(ref); i++ {
+		if ref[i].round < ref[i-1].round || ref[i].msgs < ref[i-1].msgs {
+			t.Fatalf("progress not monotone at %d: %+v after %+v", i, ref[i], ref[i-1])
+		}
+	}
+	for _, v := range variants[1:] {
+		if got := record(v); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("%s: progress sequence differs from barrier's (%d vs %d ticks)", v.name, len(got), len(ref))
+		}
+	}
+}
+
+// TestSchedConformanceSleepFastForward pins the sleepHeap contract: rounds in
+// which every node sleeps are skipped in O(1), on every driver, with
+// identical round accounting.
+func TestSchedConformanceSleepFastForward(t *testing.T) {
+	const skip = 1_000_000
+	forEachScheduler(t, func(t *testing.T, v schedVariant) {
+		s := v.newSim(Config{N: 8, Seed: 4})
+		tr, err := s.Run(func(nd *Node) {
+			nd.SkipRounds(skip)
+			nd.NextRound()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Metrics.Rounds < skip {
+			t.Fatalf("rounds=%d, want ≥ %d (fast-forwarded)", tr.Metrics.Rounds, skip)
+		}
+		// The engine charges no active-node rounds for skipped rounds.
+		if tr.Metrics.ActiveNodeRounds > 3*8 {
+			t.Fatalf("fast-forward was not cheap: %d active node-rounds", tr.Metrics.ActiveNodeRounds)
+		}
+	})
+}
+
+func TestSchedConformancePanicPropagates(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, v schedVariant) {
+		s := v.newSim(Config{N: 4, Seed: 6})
+		victim := s.IDs()[1]
+		_, err := s.Run(func(nd *Node) {
+			nd.NextRound()
+			if nd.ID() == victim {
+				panic("boom")
+			}
+			for {
+				nd.NextRound()
+			}
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("want propagated panic, got %v", err)
+		}
+	})
+}
+
+// TestSchedConformanceStrictViolation pins that strict-mode capacity errors
+// (raised by the delivery layer, not the driver) classify identically.
+func TestSchedConformanceStrictViolation(t *testing.T) {
+	forEachScheduler(t, func(t *testing.T, v schedVariant) {
+		s := v.newSim(Config{N: 4, Seed: 8, CapMul: 1, Strict: true, Model: NCC1})
+		_, err := s.Run(func(nd *Node) {
+			if nd.ID() == 1 {
+				// Flood node 2 beyond the capacity from a single sender.
+				for i := 0; i < nd.Capacity()+1; i++ {
+					nd.Send(2, Message{Kind: 1})
+				}
+			}
+			nd.NextRound()
+		})
+		if err == nil {
+			t.Fatal("want a strict capacity violation error")
+		}
+	})
+}

@@ -1,25 +1,31 @@
 package ncc
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Scheduler owns the round barrier and the node wake/park lifecycle: it
-// launches one worker per node, collects their barrier check-ins, and
-// releases the next round's active set. The engine (engine.go) decides *which*
-// nodes run each round; the scheduler decides *how* they are suspended and
-// resumed. Splitting the two keeps the round semantics independent of the
-// concurrency mechanism, so alternative drivers (e.g. a fiber/continuation
-// scheduler that avoids goroutine parking entirely) can slot in without
-// touching delivery or protocol code.
+// starts the node bodies, collects their barrier check-ins, and releases the
+// next round's active set. The engine (engine.go) decides *which* nodes run
+// each round; the scheduler decides *how* they are suspended and resumed.
+// Splitting the two keeps the round semantics independent of the concurrency
+// mechanism: barrierScheduler (below) wakes every released node at once,
+// while poolScheduler (pool.go) multiplexes run-slices onto a small worker
+// pool. Both produce byte-identical traces because the engine alone decides
+// ordering.
 //
-// The driver-side methods (Spawn, AwaitAll, Release) are called only from the
-// engine goroutine; the node-side methods (Park, Depart) only from node
-// worker goroutines. The happens-before edges a correct implementation must
-// provide are: every write a node makes before Park/Depart is visible to the
-// engine after AwaitAll returns, and every write the engine makes before
-// Release is visible to the released node when Park returns.
+// The driver-side methods (Spawn, AwaitAll, Release, Shutdown) are called
+// only from the engine goroutine; the node-side methods (Park, Depart) only
+// from node protocol goroutines. The happens-before edges a correct
+// implementation must provide are: every write a node makes before
+// Park/Depart is visible to the engine after AwaitAll returns, and every
+// write the engine makes before Release is visible to the released node when
+// Park returns.
 type Scheduler interface {
-	// Spawn starts one worker per node running body and marks all of them
-	// active; the engine must observe their first check-in via AwaitAll.
+	// Spawn starts body for every node and marks all of them active; the
+	// engine must observe their first check-in via AwaitAll. How many bodies
+	// execute concurrently is the implementation's choice.
 	Spawn(nodes []*Node, body func(*Node))
 	// AwaitAll blocks until every node released into the current round has
 	// parked (via Park) or departed (via Depart).
@@ -33,6 +39,45 @@ type Scheduler interface {
 	// Depart is a node's final check-in, made when its protocol function
 	// returns (or unwinds); the node never blocks again.
 	Depart(nd *Node)
+	// Shutdown releases driver-side resources (e.g. pool workers) after the
+	// engine loop has exited; no other method may be called afterwards. It is
+	// called exactly once per run, when every node body has departed.
+	Shutdown()
+}
+
+// SchedKind selects the Scheduler driver a simulation runs on.
+type SchedKind int
+
+const (
+	// SchedBarrier is the goroutine-barrier driver: every released node's
+	// goroutine is made runnable at once and the barrier is a countdown of
+	// channel parks. The default; the reference for trace identity.
+	SchedBarrier SchedKind = iota
+	// SchedPool is the run-to-completion worker-pool driver (pool.go): node
+	// run-slices are multiplexed onto a fixed worker pool via direct
+	// handoffs, so per-round wakeup cost is a handful of worker dispatches
+	// instead of N simultaneous goroutine wakeups.
+	SchedPool
+)
+
+// String returns the stable driver name used in flags and wire formats.
+func (k SchedKind) String() string {
+	switch k {
+	case SchedBarrier:
+		return "barrier"
+	case SchedPool:
+		return "pool"
+	default:
+		return fmt.Sprintf("SchedKind(%d)", int(k))
+	}
+}
+
+// newScheduler constructs the configured driver.
+func newScheduler(kind SchedKind) Scheduler {
+	if kind == SchedPool {
+		return newPoolScheduler(0)
+	}
+	return newBarrierScheduler()
 }
 
 // barrierScheduler is the goroutine-barrier implementation: one goroutine per
@@ -80,6 +125,10 @@ func (b *barrierScheduler) Park(nd *Node) {
 func (b *barrierScheduler) Depart(nd *Node) {
 	b.checkin()
 }
+
+// Shutdown is a no-op: the barrier driver owns no goroutines of its own, and
+// every node goroutine has already returned by the time it is called.
+func (b *barrierScheduler) Shutdown() {}
 
 // sleepHeap orders sleeping nodes by wake round; the engine uses it to
 // fast-forward rounds in which every node sleeps.

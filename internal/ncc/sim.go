@@ -50,6 +50,12 @@ type Config struct {
 	// the paper use this layout; by default the path order is a random
 	// permutation of random IDs.
 	OrderedIDs bool
+	// Sched selects the concurrency driver: SchedBarrier (default, one
+	// runnable goroutine per released node) or SchedPool (run-to-completion
+	// worker pool). The driver never affects a run's outcome — both produce
+	// byte-identical traces for the same Config — only how node bodies are
+	// suspended and resumed.
+	Sched SchedKind
 }
 
 // DefaultCapMul is the default capacity multiplier. The paper's algorithms
@@ -135,7 +141,7 @@ func New(cfg Config) *Sim {
 		capacity:    capacity,
 		index:       make(map[ID]int, n),
 		collectives: make(map[string]CollectiveHandler),
-		sched:       newBarrierScheduler(),
+		sched:       newScheduler(cfg.Sched),
 		awaiters:    make(map[int]*Node),
 	}
 	s.assignIDs()
@@ -245,6 +251,7 @@ func (s *Sim) Run(proto func(*Node)) (*Trace, error) {
 		proto(nd)
 	})
 	s.drive(panics)
+	s.sched.Shutdown()
 	return s.buildTrace(), s.firstErr
 }
 

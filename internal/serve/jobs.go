@@ -32,7 +32,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.checkSequence(w, req.Sequence) {
 		return
 	}
-	opt, err := req.Options.toOptions()
+	opt, err := req.Options.toOptions(s.cfg.DefaultScheduler)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

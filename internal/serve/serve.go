@@ -71,6 +71,11 @@ type Config struct {
 	// manager (which should wrap the same Backend so admission control is
 	// shared).
 	Jobs *jobs.Manager
+	// DefaultScheduler is the simulator driver used when a request's options
+	// leave the scheduler field empty (grserved -scheduler). The driver never
+	// affects results, only execution speed, so changing the default is safe
+	// for clients.
+	DefaultScheduler graphrealize.Scheduler
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -82,10 +87,14 @@ type Server struct {
 
 	// Watermarks of the executed-job counters at the previous Retry-After
 	// computation, so the hint reflects recent latency, not the lifetime
-	// mean (which goes stale when the workload shifts).
+	// mean (which goes stale when the workload shifts). lastMean caches the
+	// most recent per-job mean so a window with no completed executions
+	// falls back to the last real observation instead of re-deriving a
+	// lifetime figure.
 	retryMu     sync.Mutex
 	lastExec    int64
 	lastRunNano int64
+	lastMean    time.Duration
 }
 
 // New creates a Server. It panics if cfg.Backend is nil: a service without
@@ -215,27 +224,32 @@ func (s *Server) checkSequence(w http.ResponseWriter, seq []int) bool {
 // Retry-After hints: the current backlog (queued + active jobs) spread over
 // the worker pool, times the recent mean job latency, rounded up and clamped
 // to [1, 30] seconds. "Recent" is the window since the previous hint (the
-// lifetime mean goes stale when the workload shifts); with no executions in
-// the window it falls back to the lifetime mean, and a cold Runner hints 1s.
+// lifetime mean goes stale when the workload shifts). The fallback ladder
+// when the window is empty is explicit: a window with no completed
+// executions reuses the previous hint's mean; before any hint has observed
+// an execution the lifetime mean stands in; and a fully cold Runner (nothing
+// ever executed) hints the 1-second floor.
 func (s *Server) retryAfterSeconds() int {
 	st := s.cfg.Backend.Stats()
 	if st.Executed == 0 {
-		return 1
+		return 1 // cold start: no latency signal at all
 	}
 	s.retryMu.Lock()
 	dExec := st.Executed - s.lastExec
 	dRun := st.TotalRun.Nanoseconds() - s.lastRunNano
-	if dExec > 0 {
+	var mean time.Duration
+	switch {
+	case dExec > 0:
+		mean = time.Duration(dRun / dExec)
 		s.lastExec = st.Executed
 		s.lastRunNano = st.TotalRun.Nanoseconds()
+		s.lastMean = mean
+	case s.lastMean > 0:
+		mean = s.lastMean // empty window: keep the last real observation
+	default:
+		mean = st.TotalRun / time.Duration(st.Executed) // st.Executed > 0
 	}
 	s.retryMu.Unlock()
-	var mean time.Duration
-	if dExec > 0 {
-		mean = time.Duration(dRun / dExec)
-	} else {
-		mean = st.TotalRun / time.Duration(st.Executed)
-	}
 	workers := max(st.Workers, 1)
 	backlog := st.Queued + st.Active
 	eta := time.Duration(backlog) * mean / time.Duration(workers)
@@ -320,7 +334,7 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 	if !s.checkSequence(w, req.Sequence) {
 		return
 	}
-	opt, err := req.Options.toOptions()
+	opt, err := req.Options.toOptions(s.cfg.DefaultScheduler)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -358,7 +372,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !s.checkSequence(w, req.Sequence) {
 		return
 	}
-	opt, err := req.Options.toOptions()
+	opt, err := req.Options.toOptions(s.cfg.DefaultScheduler)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"graphrealize"
 	"graphrealize/internal/serve"
@@ -339,5 +341,136 @@ func TestMethodNotAllowed(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/realize/degree", nil))
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET on a POST route must be 405, got %d", rec.Code)
+	}
+}
+
+// retryAfterOf drives one queue-full request against a scripted backend and
+// returns the Retry-After hint it produced.
+func retryAfterOf(t *testing.T, h http.Handler) int {
+	t.Helper()
+	rec := post(t, h, "/v1/realize/degree", `{"sequence":[1,1]}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("want 429, got %d: %s", rec.Code, rec.Body.String())
+	}
+	secs, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After not an integer: %q", rec.Header().Get("Retry-After"))
+	}
+	return secs
+}
+
+// queueFullBackend scripts a saturated Runner with the given counters.
+func queueFullBackend(stats graphrealize.RunnerStats) *fakeBackend {
+	return &fakeBackend{
+		submit: func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+			return nil, graphrealize.ErrQueueFull
+		},
+		stats: stats,
+	}
+}
+
+// TestRetryAfterClampEdges pins the [1, 30] clamp at both edges and the
+// explicit cold-start fallback: a Runner that has never executed a job has no
+// latency signal and must hint the 1-second floor, while an enormous backlog
+// must cap at 30 seconds regardless of the estimate.
+func TestRetryAfterClampEdges(t *testing.T) {
+	t.Run("cold runner hints the 1s floor", func(t *testing.T) {
+		h := serve.New(serve.Config{Backend: queueFullBackend(graphrealize.RunnerStats{
+			Workers: 4, Queued: 100, Active: 4, Executed: 0,
+		})}).Handler()
+		if got := retryAfterOf(t, h); got != 1 {
+			t.Fatalf("cold runner: want Retry-After 1, got %d", got)
+		}
+	})
+	t.Run("fast jobs and small backlog hint the 1s floor", func(t *testing.T) {
+		h := serve.New(serve.Config{Backend: queueFullBackend(graphrealize.RunnerStats{
+			Workers: 4, Queued: 1, Active: 4, Executed: 1000, TotalRun: time.Second,
+		})}).Handler()
+		if got := retryAfterOf(t, h); got != 1 {
+			t.Fatalf("fast workload: want Retry-After 1, got %d", got)
+		}
+	})
+	t.Run("huge backlog clamps to 30s", func(t *testing.T) {
+		h := serve.New(serve.Config{Backend: queueFullBackend(graphrealize.RunnerStats{
+			Workers: 1, Queued: 10_000, Active: 1, Executed: 10, TotalRun: 50 * time.Second,
+		})}).Handler()
+		if got := retryAfterOf(t, h); got != 30 {
+			t.Fatalf("saturated workload: want Retry-After 30, got %d", got)
+		}
+	})
+}
+
+// TestRetryAfterEmptyWindowFallback pins the fallback ladder: a hint computed
+// while no job finished since the previous hint must reuse the previous
+// window's mean instead of degenerating, so back-to-back 429s under a stalled
+// Runner give consistent advice.
+func TestRetryAfterEmptyWindowFallback(t *testing.T) {
+	fb := queueFullBackend(graphrealize.RunnerStats{
+		Workers: 1, Queued: 4, Active: 1, Executed: 10, TotalRun: 20 * time.Second,
+	})
+	h := serve.New(serve.Config{Backend: fb}).Handler()
+	first := retryAfterOf(t, h) // 5 jobs backlog × 2s mean = 10s
+	if first != 10 {
+		t.Fatalf("first hint: want 10, got %d", first)
+	}
+	// Same counters again: the execution window is empty (dExec == 0), and
+	// the hint must fall back to the previous window's mean, not recompute a
+	// degenerate value.
+	if second := retryAfterOf(t, h); second != first {
+		t.Fatalf("empty-window hint: want %d (previous mean reused), got %d", first, second)
+	}
+}
+
+// TestSchedulerOptionOnWire pins the scheduler request field: "pool" reaches
+// the backend in Options, an unknown value is a 400, and an empty field picks
+// up the server's configured default.
+func TestSchedulerOptionOnWire(t *testing.T) {
+	var got []graphrealize.Scheduler
+	record := func(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error) {
+		opt := j.Opt
+		if opt == nil {
+			opt = &graphrealize.Options{}
+		}
+		got = append(got, opt.Scheduler)
+		return resultChan(graphrealize.Result{Job: j, Graph: &graphrealize.Graph{N: 2, Adj: [][]int{{1}, {0}}}, Stats: &graphrealize.Stats{N: 2}}), nil
+	}
+
+	h := serve.New(serve.Config{Backend: &fakeBackend{submit: record}}).Handler()
+	if rec := post(t, h, "/v1/realize/degree", `{"sequence":[1,1],"options":{"scheduler":"pool"}}`); rec.Code != http.StatusOK {
+		t.Fatalf("pool scheduler request: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := post(t, h, "/v1/realize/degree", `{"sequence":[1,1],"options":{"scheduler":"fiber"}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown scheduler must be 400, got %d", rec.Code)
+	}
+
+	// A server defaulting to the pool driver applies it to requests that
+	// don't choose — with and without an options object.
+	hp := serve.New(serve.Config{
+		Backend:          &fakeBackend{submit: record},
+		DefaultScheduler: graphrealize.PoolScheduler,
+	}).Handler()
+	if rec := post(t, hp, "/v1/realize/degree", `{"sequence":[1,1]}`); rec.Code != http.StatusOK {
+		t.Fatalf("default scheduler request: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := post(t, hp, "/v1/realize/degree", `{"sequence":[1,1],"options":{"seed":3}}`); rec.Code != http.StatusOK {
+		t.Fatalf("default scheduler with options: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := post(t, hp, "/v1/realize/degree", `{"sequence":[1,1],"options":{"scheduler":"barrier"}}`); rec.Code != http.StatusOK {
+		t.Fatalf("explicit barrier overrides the default: %d %s", rec.Code, rec.Body.String())
+	}
+
+	want := []graphrealize.Scheduler{
+		graphrealize.PoolScheduler,    // explicit "pool"
+		graphrealize.PoolScheduler,    // server default, no options
+		graphrealize.PoolScheduler,    // server default, options without scheduler
+		graphrealize.BarrierScheduler, // explicit "barrier" beats the default
+	}
+	if len(got) != len(want) {
+		t.Fatalf("backend saw %d submissions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("submission %d: scheduler %v, want %v", i, got[i], want[i])
+		}
 	}
 }

@@ -28,11 +28,20 @@ type OptionsJSON struct {
 	Sort string `json:"sort,omitempty"`
 	// MaxRounds aborts runaway protocols.
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Scheduler is "barrier" or "pool"; empty selects the server's default
+	// driver (grserved -scheduler). The choice never affects the result.
+	Scheduler string `json:"scheduler,omitempty"`
 }
 
-func (o *OptionsJSON) toOptions() (*graphrealize.Options, error) {
+// toOptions maps the wire options onto facade Options. defSched is the
+// server-wide default driver, applied when the request leaves the scheduler
+// field empty — including when the request carries no options at all.
+func (o *OptionsJSON) toOptions(defSched graphrealize.Scheduler) (*graphrealize.Options, error) {
 	if o == nil {
-		return nil, nil
+		if defSched == graphrealize.BarrierScheduler {
+			return nil, nil
+		}
+		return &graphrealize.Options{Scheduler: defSched}, nil
 	}
 	out := &graphrealize.Options{
 		Seed:      o.Seed,
@@ -55,6 +64,15 @@ func (o *OptionsJSON) toOptions() (*graphrealize.Options, error) {
 		out.Sort = graphrealize.MergeSort
 	default:
 		return nil, fmt.Errorf("unknown sort %q (want oracle, oddeven, or merge)", o.Sort)
+	}
+	if o.Scheduler == "" {
+		out.Scheduler = defSched
+	} else {
+		sched, err := graphrealize.ParseScheduler(o.Scheduler)
+		if err != nil {
+			return nil, fmt.Errorf("unknown scheduler %q (want barrier or pool)", o.Scheduler)
+		}
+		out.Scheduler = sched
 	}
 	return out, nil
 }

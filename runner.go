@@ -260,12 +260,17 @@ func (r *Runner) SubmitReplayCtx(ctx context.Context, j Job) (<-chan Result, err
 // concurrent batches cannot partially admit and mutually starve each other.
 // Cached jobs are served without consuming capacity. Result channels are
 // returned in job order.
+//
+// Cache hits are looked up before the admission decision but counted (and
+// their result channels created) only after it succeeds: a refused batch
+// delivers no results, so counting its cached members as Submitted/CacheHits
+// would overcount — and double-count once the caller retries the batch.
 func (r *Runner) SubmitAllCtx(ctx context.Context, jobs []Job) ([]<-chan Result, error) {
-	chans := make([]<-chan Result, len(jobs))
+	hits := make([]Result, len(jobs))
 	var misses []int
 	for i, j := range jobs {
-		if out, ok := r.cachedFastPath(j); ok {
-			chans[i] = out
+		if res, ok := r.cache.get(j.cacheKey()); ok {
+			hits[i] = res
 		} else {
 			misses = append(misses, i)
 		}
@@ -274,8 +279,15 @@ func (r *Runner) SubmitAllCtx(ctx context.Context, jobs []Job) ([]<-chan Result,
 		r.rejected.Add(int64(len(misses)))
 		return nil, ErrQueueFull
 	}
-	for _, i := range misses {
-		chans[i] = r.start(ctx, jobs[i], true)
+	chans := make([]<-chan Result, len(jobs))
+	mi := 0
+	for i := range jobs {
+		if mi < len(misses) && misses[mi] == i {
+			chans[i] = r.start(ctx, jobs[i], true)
+			mi++
+			continue
+		}
+		chans[i] = r.deliverCached(jobs[i], hits[i])
 	}
 	return chans, nil
 }
@@ -291,13 +303,21 @@ func (r *Runner) cachedFastPath(j Job) (<-chan Result, bool) {
 	if !hit {
 		return nil, false
 	}
+	return r.deliverCached(j, res), true
+}
+
+// deliverCached counts one cache-served submission and wraps the stored
+// result in a delivered channel. Callers must invoke it only once the result
+// is actually going to reach the requester — after batch admission, in
+// SubmitAllCtx's case.
+func (r *Runner) deliverCached(j Job, res Result) <-chan Result {
 	r.submitted.Add(1)
 	r.cacheHits.Add(1)
 	res.Job = j
 	res.Cached = true
 	out := make(chan Result, 1)
 	out <- res
-	return out, true
+	return out
 }
 
 // start launches one job. admitted reports whether it holds an admission
@@ -508,6 +528,11 @@ type optKey struct {
 	capMul    int
 	sort      SortMethod
 	maxRounds int
+	// sched is part of the key even though both drivers produce identical
+	// results: keeping the namespaces separate makes Cached flags (and
+	// therefore benchmarks and driver-conformance checks) predictable —
+	// a pool-driver submission is never silently served by a barrier run.
+	sched Scheduler
 }
 
 func (o Options) key() optKey {
@@ -518,6 +543,7 @@ func (o Options) key() optKey {
 		capMul:    o.CapMul,
 		sort:      o.Sort,
 		maxRounds: o.MaxRounds,
+		sched:     o.Scheduler,
 	}
 }
 

@@ -1,0 +1,132 @@
+package graphrealize
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// runner_batch_test.go pins two Runner serving-layer contracts: rejected
+// batches must not leak counter increments for results that were never
+// delivered, and cached results — shared by every requester of the same key —
+// must be immutable under the read paths the service and the CLIs exercise.
+
+// TestSubmitAllCtxRejectedBatchAccounting is the regression test for the
+// rejected-batch bug: a batch refused with ErrQueueFull used to count its
+// cached members as Submitted/CacheHits and drop their result channels, so
+// stats overcounted and a retried batch double-counted.
+func TestSubmitAllCtxRejectedBatchAccounting(t *testing.T) {
+	r := NewRunnerConfig(RunnerConfig{Workers: 1, Queue: 0})
+
+	// Warm the cache with job A using the real executor.
+	cached := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 1}}
+	if res := <-r.Submit(cached); res.Err != nil {
+		t.Fatalf("warming run: %v", res.Err)
+	}
+
+	// Occupy the only worker so the next non-cached admission is refused.
+	release := make(chan struct{})
+	blockingExec(r, release)
+	chBlock, err := r.SubmitCtx(context.Background(), distinctJob(100))
+	if err != nil {
+		t.Fatalf("blocker must be admitted: %v", err)
+	}
+	before := r.Stats()
+
+	batch := []Job{cached, distinctJob(101)}
+	if _, err := r.SubmitAllCtx(context.Background(), batch); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated runner must refuse the batch, got %v", err)
+	}
+	st := r.Stats()
+	if st.Submitted != before.Submitted {
+		t.Fatalf("rejected batch leaked Submitted: %d -> %d", before.Submitted, st.Submitted)
+	}
+	if st.CacheHits != before.CacheHits {
+		t.Fatalf("rejected batch leaked CacheHits: %d -> %d", before.CacheHits, st.CacheHits)
+	}
+	if st.Rejected != before.Rejected+1 {
+		t.Fatalf("want exactly the non-cached job counted rejected, got %d -> %d", before.Rejected, st.Rejected)
+	}
+
+	// Retry after the worker frees up: the whole batch must be delivered and
+	// the cached member counted exactly once.
+	close(release)
+	if res := <-chBlock; res.Err != nil {
+		t.Fatalf("blocker: %v", res.Err)
+	}
+	chans, err := r.SubmitAllCtx(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("retried batch must be admitted: %v", err)
+	}
+	if got := <-chans[0]; !got.Cached || got.Err != nil {
+		t.Fatalf("cached member must be served from cache: cached=%v err=%v", got.Cached, got.Err)
+	}
+	if got := <-chans[1]; got.Err != nil {
+		t.Fatalf("admitted member: %v", got.Err)
+	}
+	st = r.Stats()
+	if want := before.CacheHits + 1; st.CacheHits != want {
+		t.Fatalf("retried batch must count its cache hit once: want %d, got %d", want, st.CacheHits)
+	}
+	if want := before.Submitted + 2; st.Submitted != want {
+		t.Fatalf("retried batch must count both submissions: want %d, got %d", want, st.Submitted)
+	}
+}
+
+// graphFingerprint renders the full adjacency structure; any in-place
+// mutation of a shared graph changes it.
+func graphFingerprint(g *Graph) string {
+	return fmt.Sprintf("%d:%v", g.N, g.Adj)
+}
+
+// TestCachedResultImmutableUnderConcurrentReaders pins the aliasing contract
+// of cached results: Graph/Stats/Envelope pointers are shared by every
+// requester of the same key, so every read path the HTTP layer and the CLIs
+// use (edge extraction, degree/diameter queries, stats formatting) must leave
+// them untouched. Run with -race this also proves the reads are synchronized.
+func TestCachedResultImmutableUnderConcurrentReaders(t *testing.T) {
+	r := NewRunner(2)
+	job := Job{Kind: JobUpperEnvelope, Seq: []int{5, 3, 3, 2, 2, 1}, Opt: &Options{Seed: 6}}
+	first := <-r.Submit(job)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	before := graphFingerprint(first.Graph)
+	statsBefore := *first.Stats
+	envBefore := fmt.Sprint(first.Envelope)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := <-r.Submit(job)
+			if res.Err != nil || !res.Cached {
+				t.Errorf("cached requester: err=%v cached=%v", res.Err, res.Cached)
+				return
+			}
+			// The read surface of internal/serve (Edges, M, statsJSON),
+			// cmd/degreal (Envelope), and the harness tables (Degrees,
+			// Diameter, stats fields).
+			_ = res.Graph.Edges()
+			_ = res.Graph.M()
+			_ = res.Graph.Degrees()
+			_ = res.Graph.Connected()
+			_ = res.Stats.String()
+			_ = fmt.Sprint(res.Envelope)
+		}()
+	}
+	wg.Wait()
+
+	if after := graphFingerprint(first.Graph); after != before {
+		t.Fatalf("cached graph mutated by readers:\nbefore %s\nafter  %s", before, after)
+	}
+	if statsAfter := *first.Stats; statsAfter != statsBefore {
+		t.Fatalf("cached stats mutated by readers: %+v -> %+v", statsBefore, statsAfter)
+	}
+	if envAfter := fmt.Sprint(first.Envelope); envAfter != envBefore {
+		t.Fatalf("cached envelope mutated by readers: %s -> %s", envBefore, envAfter)
+	}
+}

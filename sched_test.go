@@ -1,0 +1,85 @@
+package graphrealize
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sched_test.go pins the facade-level scheduler contract: the driver in
+// Options.Scheduler never changes a realization's outcome, and driver
+// selection is part of the Runner's cache identity.
+
+// realizeKind dispatches one (kind, seq, opt) through Execute's switch — the
+// same path the Runner uses — and returns the Result.
+func conformanceJobs() []Job {
+	return []Job{
+		{Kind: JobDegrees, Seq: []int{4, 3, 3, 2, 2, 2, 2, 2}, Opt: &Options{Seed: 3}},
+		{Kind: JobDegreesExplicit, Seq: []int{3, 3, 2, 2, 2, 2}, Opt: &Options{Seed: 5}},
+		{Kind: JobUpperEnvelope, Seq: []int{9, 1, 1, 1}, Opt: &Options{Seed: 7}},
+		{Kind: JobChainTree, Seq: []int{3, 2, 2, 1, 1, 1, 1, 1}, Opt: &Options{Seed: 9}},
+		{Kind: JobMinDiamTree, Seq: []int{3, 2, 2, 1, 1, 1, 1, 1}, Opt: &Options{Seed: 11}},
+		{Kind: JobConnectivity, Seq: []int{2, 2, 2, 2, 1, 1}, Opt: &Options{Seed: 13, Model: NCC1}},
+		{Kind: JobConnectivity, Seq: []int{2, 2, 2, 2, 1, 1}, Opt: &Options{Seed: 13}},
+		// A run that fails deterministically must fail identically too.
+		{Kind: JobDegrees, Seq: []int{5, 1}, Opt: &Options{Seed: 1}},
+	}
+}
+
+// TestSchedulerFacadeConformance runs every job kind under both drivers and
+// requires identical graphs, stats, envelopes, and errors.
+func TestSchedulerFacadeConformance(t *testing.T) {
+	for _, base := range conformanceJobs() {
+		barrier := base
+		bOpt := *base.Opt
+		bOpt.Scheduler = BarrierScheduler
+		barrier.Opt = &bOpt
+
+		pool := base
+		pOpt := *base.Opt
+		pOpt.Scheduler = PoolScheduler
+		pool.Opt = &pOpt
+
+		rb := Execute(t.Context(), barrier)
+		rp := Execute(t.Context(), pool)
+		label := base.Kind.String()
+		if (rb.Err == nil) != (rp.Err == nil) || (rb.Err != nil && rb.Err.Error() != rp.Err.Error()) {
+			t.Fatalf("%s: errors differ: barrier=%v pool=%v", label, rb.Err, rp.Err)
+		}
+		if rb.Err != nil {
+			continue
+		}
+		if !reflect.DeepEqual(rb.Stats, rp.Stats) {
+			t.Fatalf("%s: stats differ:\nbarrier %+v\npool    %+v", label, rb.Stats, rp.Stats)
+		}
+		if !reflect.DeepEqual(rb.Graph.Edges(), rp.Graph.Edges()) {
+			t.Fatalf("%s: edge lists differ", label)
+		}
+		if !reflect.DeepEqual(rb.Envelope, rp.Envelope) {
+			t.Fatalf("%s: envelopes differ", label)
+		}
+	}
+}
+
+// TestSchedulerIsPartOfCacheKey: a pool submission must not be served by a
+// cached barrier run (and vice versa) — the driver namespaces are separate so
+// Cached flags stay predictable for benchmarks and conformance checks.
+func TestSchedulerIsPartOfCacheKey(t *testing.T) {
+	r := NewRunner(2)
+	barrier := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 4}}
+	pool := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 4, Scheduler: PoolScheduler}}
+
+	if res := <-r.Submit(barrier); res.Err != nil || res.Cached {
+		t.Fatalf("first barrier run: err=%v cached=%v", res.Err, res.Cached)
+	}
+	if res := <-r.Submit(pool); res.Err != nil {
+		t.Fatalf("pool run: %v", res.Err)
+	} else if res.Cached {
+		t.Fatal("pool submission must not be served from the barrier run's cache entry")
+	}
+	if res := <-r.Submit(pool); !res.Cached {
+		t.Fatal("second pool submission must hit the pool entry")
+	}
+	if res := <-r.Submit(barrier); !res.Cached {
+		t.Fatal("barrier entry must still be cached separately")
+	}
+}
