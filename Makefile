@@ -9,6 +9,7 @@
 #   make serve          run the HTTP realization service
 #   make loadgen        drive a running service with mixed traffic
 #   make bench-compare  bench HEAD vs BASE and gate like CI does
+#   make bench-record   record the scheduler-driver snapshot (BENCH_<sha>.json)
 #
 # Service knobs: ADDR, QUEUE, JOB_TIMEOUT, DATA_DIR (non-empty = durable
 # jobs with crash recovery); loadgen knobs: CONC, REQS, MIX.
@@ -30,7 +31,7 @@ BASE        ?= main
 SCHEDULER   ?= barrier
 BENCH_ARGS  := -short -run '^$$' -bench . -benchtime 3x -count 5 .
 
-.PHONY: build test race bench bench-sched sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
+.PHONY: build test race bench bench-sched bench-record sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +59,18 @@ bench:
 
 bench-sched:
 	$(GO) test -run '^$$' -bench BenchmarkBatchRunner -benchtime 1x -count 2 .
+
+# Record the committed scheduler-driver benchmark snapshot: BatchRunner at
+# every size plus the pure wake/park cost (BarrierOverhead), all three
+# drivers, with -benchmem so allocation deltas are part of the record. The
+# output file name carries the commit so stale snapshots are obvious.
+bench-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchRunner|BenchmarkBarrierOverhead' \
+		-benchtime 1x -count 3 -benchmem . ./internal/ncc/ > /tmp/graphrealize-bench-record.txt
+	cat /tmp/graphrealize-bench-record.txt
+	$(GO) run ./cmd/benchrecord -in /tmp/graphrealize-bench-record.txt \
+		-commit $$(git rev-parse --short HEAD) -out BENCH_$$(git rev-parse --short HEAD).json
+	@echo wrote BENCH_$$(git rev-parse --short HEAD).json
 
 sweep:
 	$(GO) run ./cmd/degreal -n $(N) -family $(FAMILY) -seeds $(SEEDS) -workers $(WORKERS)

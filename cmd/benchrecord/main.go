@@ -1,0 +1,73 @@
+// Command benchrecord converts `go test -bench -benchmem` output into the
+// committed BENCH_<sha>.json snapshot format: per-benchmark medians of
+// ns/op, B/op, and allocs/op plus enough environment metadata to judge
+// whether two snapshots are comparable. It exists so scheduler-driver claims
+// in the README ("flat is Nx faster than pool at n=65536") are backed by a
+// machine-readable artifact regenerated with `make bench-record`.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... > bench.txt
+//	benchrecord -in bench.txt -commit $(git rev-parse --short HEAD) -out BENCH_abc123.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"flag"
+
+	"graphrealize/internal/benchcmp"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (required)")
+	out := flag.String("out", "", "JSON snapshot to write (default stdout)")
+	commit := flag.String("commit", "", "commit the snapshot was taken at")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "benchrecord: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(2)
+	}
+	results, err := benchcmp.ParseResults(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchrecord: no benchmark lines in input")
+		os.Exit(2)
+	}
+	snapshot := struct {
+		Commit  string            `json:"commit,omitempty"`
+		Go      string            `json:"go"`
+		GOOS    string            `json:"goos"`
+		GOARCH  string            `json:"goarch"`
+		CPUs    int               `json:"cpus"`
+		Results []benchcmp.Result `json:"results"`
+	}{*commit, runtime.Version(), runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), results}
+
+	buf, err := json.MarshalIndent(snapshot, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(2)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrecord: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -25,7 +25,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. T5,F2); empty = all")
 	workers := flag.Int("workers", 0, "parallel realization jobs per sweep (0 = GOMAXPROCS)")
-	scheduler := flag.String("scheduler", "barrier", "simulator driver: barrier or pool (identical tables, different wall-clock)")
+	scheduler := flag.String("scheduler", "barrier", "simulator driver: barrier, pool or flat (identical tables, different wall-clock)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	sched, err := graphrealize.ParseScheduler(*scheduler)

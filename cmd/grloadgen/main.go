@@ -166,7 +166,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
 	async := flag.Bool("async", false, "drive every other request through the async job API (submit/poll/stream/cancel)")
-	scheduler := flag.String("scheduler", "", "simulator driver to request: barrier or pool (empty = server default)")
+	scheduler := flag.String("scheduler", "", "simulator driver to request: barrier, pool or flat (empty = server default)")
 	flag.Parse()
 
 	if *requests <= 0 || *conc <= 0 {

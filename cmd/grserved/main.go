@@ -54,7 +54,7 @@ func main() {
 	jobGC := flag.Duration("job-gc", 0, "async job GC sweep interval (0 = job-ttl/4, capped at 30s)")
 	maxJobs := flag.Int("max-jobs", 4096, "retained async job records before eviction/backpressure")
 	dataDir := flag.String("data-dir", "", "directory for durable async job state (empty = in-memory only)")
-	scheduler := flag.String("scheduler", "barrier", "default simulator driver for requests that don't pick one: barrier or pool")
+	scheduler := flag.String("scheduler", "barrier", "default simulator driver for requests that don't pick one: barrier, pool or flat")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()

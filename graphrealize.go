@@ -45,9 +45,9 @@ const (
 	NCC1
 )
 
-// Scheduler selects the simulator's concurrency driver. Both drivers produce
+// Scheduler selects the simulator's concurrency driver. All drivers produce
 // byte-identical results for the same Options; they differ only in how node
-// goroutines are suspended and resumed, i.e. in speed and in how heavily a
+// protocols are suspended and resumed, i.e. in speed and in how heavily a
 // run leans on the Go runtime scheduler.
 type Scheduler int
 
@@ -59,14 +59,23 @@ const (
 	// bounded batches, keeping the runnable set small regardless of n. Pick
 	// it for large simulations or when many jobs share one process.
 	PoolScheduler
+	// FlatScheduler runs the whole simulation with zero per-node goroutines:
+	// protocols execute as resumable state machines stepped by a tight loop
+	// over the runnable set. Fastest driver and the highest concurrent-job
+	// ceiling; see DESIGN.md §2.
+	FlatScheduler
 )
 
 // String returns the stable driver name used in flags and wire formats.
 func (s Scheduler) String() string {
-	if s == PoolScheduler {
+	switch s {
+	case PoolScheduler:
 		return "pool"
+	case FlatScheduler:
+		return "flat"
+	default:
+		return "barrier"
 	}
-	return "barrier"
 }
 
 // ParseScheduler resolves a driver name as used in flags and wire formats,
@@ -79,8 +88,10 @@ func ParseScheduler(s string) (Scheduler, error) {
 		return BarrierScheduler, nil
 	case "pool":
 		return PoolScheduler, nil
+	case "flat":
+		return FlatScheduler, nil
 	default:
-		return 0, fmt.Errorf("graphrealize: unknown scheduler %q (want barrier or pool)", s)
+		return 0, fmt.Errorf("graphrealize: unknown scheduler %q (want barrier, pool or flat)", s)
 	}
 }
 
@@ -258,8 +269,11 @@ func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config 
 		model = ncc.NCC1
 	}
 	sched := ncc.SchedBarrier
-	if o.Scheduler == PoolScheduler {
+	switch o.Scheduler {
+	case PoolScheduler:
 		sched = ncc.SchedPool
+	case FlatScheduler:
+		sched = ncc.SchedFlat
 	}
 	return ncc.Config{
 		N:         n,
@@ -350,13 +364,21 @@ func realizeDegrees(ctx context.Context, d []int, opt *Options, explicit bool) (
 	o := opt.norm()
 	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
-	tr, err := s.Run(func(nd *ncc.Node) {
-		env := core.Setup(nd, o.sortMethod())
-		out := core.Realize(nd, env, nd.Input().(int), core.Exact, true)
-		if out.OK && explicit {
-			core.MakeExplicit(nd, env, out.Neighbors, out.Delta)
-		}
-		nd.SetOutput("phases", int64(out.Phases))
+	tr, err := s.RunProgram(func(nd *ncc.Node) ncc.Op {
+		return core.SetupStep(nd, o.sortMethod(), func(env *core.Env) ncc.Op {
+			return core.RealizeStep(nd, env, nd.Input().(int), core.Exact, true, func(out core.Outcome) ncc.Op {
+				finish := func() ncc.Op {
+					nd.SetOutput("phases", int64(out.Phases))
+					return ncc.Done()
+				}
+				if out.OK && explicit {
+					return core.MakeExplicitStep(nd, env, out.Neighbors, out.Delta, func(int) ncc.Op {
+						return finish()
+					})
+				}
+				return finish()
+			})
+		})
 	})
 	if err != nil {
 		return nil, nil, mapRunErr(ctx, err)
@@ -386,11 +408,14 @@ func realizeEnvelope(ctx context.Context, d []int, opt *Options) (*Graph, []int,
 	o := opt.norm()
 	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
-	tr, err := s.Run(func(nd *ncc.Node) {
-		env := core.Setup(nd, o.sortMethod())
-		out := core.Realize(nd, env, nd.Input().(int), core.Envelope, true)
-		nd.SetOutput("realized", int64(out.Realized))
-		nd.SetOutput("phases", int64(out.Phases))
+	tr, err := s.RunProgram(func(nd *ncc.Node) ncc.Op {
+		return core.SetupStep(nd, o.sortMethod(), func(env *core.Env) ncc.Op {
+			return core.RealizeStep(nd, env, nd.Input().(int), core.Envelope, true, func(out core.Outcome) ncc.Op {
+				nd.SetOutput("realized", int64(out.Realized))
+				nd.SetOutput("phases", int64(out.Phases))
+				return ncc.Done()
+			})
+		})
 	})
 	if err != nil {
 		return nil, nil, nil, mapRunErr(ctx, err)
@@ -426,14 +451,15 @@ func realizeTree(ctx context.Context, d []int, opt *Options, greedy bool) (*Grap
 	o := opt.norm()
 	s := ncc.New(o.simConfig(ctx, len(d), toInputs(d)))
 	sortnet.RegisterOracle(s)
-	tr, err := s.Run(func(nd *ncc.Node) {
-		env := core.Setup(nd, o.sortMethod())
-		deg := nd.Input().(int)
-		if greedy {
-			trees.RealizeGreedy(nd, env, deg)
-		} else {
-			trees.RealizeChain(nd, env, deg)
-		}
+	tr, err := s.RunProgram(func(nd *ncc.Node) ncc.Op {
+		return core.SetupStep(nd, o.sortMethod(), func(env *core.Env) ncc.Op {
+			deg := nd.Input().(int)
+			done := func(trees.Outcome) ncc.Op { return ncc.Done() }
+			if greedy {
+				return trees.RealizeGreedyStep(nd, env, deg, done)
+			}
+			return trees.RealizeChainStep(nd, env, deg, done)
+		})
 	})
 	if err != nil {
 		return nil, nil, mapRunErr(ctx, err)
@@ -460,14 +486,15 @@ func realizeConnectivity(ctx context.Context, rho []int, opt *Options) (*Graph, 
 	o := opt.norm()
 	s := ncc.New(o.simConfig(ctx, len(rho), toInputs(rho)))
 	sortnet.RegisterOracle(s)
-	tr, err := s.Run(func(nd *ncc.Node) {
+	tr, err := s.RunProgram(func(nd *ncc.Node) ncc.Op {
 		r := nd.Input().(int)
+		done := func(connectivity.Outcome) ncc.Op { return ncc.Done() }
 		if nd.Model() == ncc.NCC1 {
-			connectivity.RealizeNCC1(nd, r)
-		} else {
-			env := core.Setup(nd, o.sortMethod())
-			connectivity.RealizeNCC0(nd, env, r)
+			return connectivity.RealizeNCC1Step(nd, r, done)
 		}
+		return core.SetupStep(nd, o.sortMethod(), func(env *core.Env) ncc.Op {
+			return connectivity.RealizeNCC0Step(nd, env, r, done)
+		})
 	})
 	if err != nil {
 		return nil, nil, mapRunErr(ctx, err)

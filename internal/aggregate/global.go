@@ -6,6 +6,13 @@
 // tree TBFS from package primitives; local primitives use rendezvous routing
 // with per-hop combining over the distance-doubling overlay (see DESIGN.md
 // for the substitution note).
+//
+// The global primitives follow the two-form convention of package primitives:
+// the XxxStep form is the resumable implementation (runnable on the
+// zero-goroutine flat driver) and the blocking form drives it via ncc.RunOps.
+// The local primitives (local.go) are used only by harness experiments that
+// construct their own goroutine-driver sims, so they intentionally stay in
+// blocking-only form.
 package aggregate
 
 import (
@@ -70,61 +77,76 @@ func OrOp() Op {
 	}, Neutral: 0}
 }
 
-// Broadcast delivers the leader's value to every node (Theorem 4). The
+// BroadcastStep delivers the leader's value to every node (Theorem 4). The
 // leader is whichever single node passes have=true; its token travels up to
-// the TBFS root and floods down. Every node returns the value.
+// the TBFS root and floods down. Every node receives the value via k.
 //
 // Rounds: exactly 2·(⌈log₂ n⌉ + 2) from the caller's current round.
-func Broadcast(nd *ncc.Node, t *primitives.Tree, have bool, value int64) int64 {
+func BroadcastStep(nd *ncc.Node, t *primitives.Tree, have bool, value int64, k func(int64) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(nd.N())
 	start := nd.Round()
 	upDeadline := start + K + 2
 	got := have
 	val := value
-	// Up phase: the leader's token climbs to the root.
+	// Up phase: the leader's token climbs to the root; intermediate nodes
+	// relay, the root records.
 	if have && !t.IsRoot {
 		nd.Send(t.Parent, ncc.Message{Kind: kUp, A: value})
 	}
-	if !t.IsRoot {
-		// Relay any up-token that passes through us.
-		for nd.Round() < upDeadline {
-			in := primitives.SyncAt(nd, nd.Round()+1)
-			for _, m := range in {
-				if m.Kind == kUp {
-					nd.Send(t.Parent, ncc.Message{Kind: kUp, A: m.A})
-				}
-			}
-		}
-	} else {
-		for nd.Round() < upDeadline {
-			in := primitives.SyncAt(nd, nd.Round()+1)
-			for _, m := range in {
-				if m.Kind == kUp {
-					got, val = true, m.A
-				}
-			}
-		}
+	finish := func() ncc.Op {
+		sendDown(nd, t, kDown, val)
+		return primitives.SyncAtStep(nd, upDeadline+K+3, func([]ncc.Message) ncc.Op { return k(val) })
 	}
 	// Down phase: flood from the root.
-	if t.IsRoot {
-		if !got {
-			panic("aggregate: Broadcast with no leader")
+	down := func() ncc.Op {
+		if t.IsRoot {
+			if !got {
+				panic("aggregate: Broadcast with no leader")
+			}
+			return finish()
 		}
-		sendDown(nd, t, kDown, val)
-	} else {
-		waiting := true
-		for waiting {
-			for _, m := range nd.AwaitMessage() {
+		var wait ncc.Cont
+		wait = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			waiting := true
+			for _, m := range w.Msgs {
 				if m.Kind == kDown {
 					val = m.A
 					waiting = false
 				}
 			}
+			if waiting {
+				return ncc.Await(wait)
+			}
+			return finish()
 		}
-		sendDown(nd, t, kDown, val)
+		return ncc.Await(wait)
 	}
-	primitives.SyncAt(nd, upDeadline+K+3)
-	return val
+	var up func() ncc.Op
+	up = func() ncc.Op {
+		if nd.Round() >= upDeadline {
+			return down()
+		}
+		return primitives.SyncAtStep(nd, nd.Round()+1, func(in []ncc.Message) ncc.Op {
+			for _, m := range in {
+				if m.Kind == kUp {
+					if t.IsRoot {
+						got, val = true, m.A
+					} else {
+						nd.Send(t.Parent, ncc.Message{Kind: kUp, A: m.A})
+					}
+				}
+			}
+			return up()
+		})
+	}
+	return up()
+}
+
+// Broadcast is the blocking form of BroadcastStep.
+func Broadcast(nd *ncc.Node, t *primitives.Tree, have bool, value int64) int64 {
+	var out int64
+	ncc.RunOps(nd, BroadcastStep(nd, t, have, value, func(v int64) ncc.Op { out = v; return ncc.Done() }))
+	return out
 }
 
 func sendDown(nd *ncc.Node, t *primitives.Tree, kind uint8, v int64) {
@@ -136,13 +158,13 @@ func sendDown(nd *ncc.Node, t *primitives.Tree, kind uint8, v int64) {
 	}
 }
 
-// AggregateBroadcast folds every node's value with the distributive operator
-// op and returns the global result to every node (Theorem 4's aggregation
-// followed by a broadcast of the result, the form all realization algorithms
-// use). Convergecast up the TBFS, flood down.
+// AggregateBroadcastStep folds every node's value with the distributive
+// operator op and delivers the global result to every node via k (Theorem 4's
+// aggregation followed by a broadcast of the result, the form all realization
+// algorithms use). Convergecast up the TBFS, flood down.
 //
 // Rounds: exactly 2·(⌈log₂ n⌉ + 3) from the caller's current round.
-func AggregateBroadcast(nd *ncc.Node, t *primitives.Tree, value int64, op Op) int64 {
+func AggregateBroadcastStep(nd *ncc.Node, t *primitives.Tree, value int64, op Op, k func(int64) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(nd.N())
 	startA := nd.Round()
 	children := 0
@@ -153,64 +175,103 @@ func AggregateBroadcast(nd *ncc.Node, t *primitives.Tree, value int64, op Op) in
 		children++
 	}
 	acc := value
-	for got := 0; got < children; {
-		for _, m := range nd.AwaitMessage() {
-			if m.Kind == kAggUp {
-				acc = op.Combine(acc, m.A)
-				got++
-			}
-		}
-	}
-	if !t.IsRoot {
-		nd.Send(t.Parent, ncc.Message{Kind: kAggUp, A: acc})
-	}
-	primitives.SyncAt(nd, startA+K+3)
+	got := 0
 
-	startB := nd.Round()
-	val := acc // correct only at the root; others receive it below
-	if t.IsRoot {
-		sendDown(nd, t, kAggDown, val)
-	} else {
-		waiting := true
-		for waiting {
-			for _, m := range nd.AwaitMessage() {
+	phaseB := func() ncc.Op {
+		startB := nd.Round()
+		val := acc // correct only at the root; others receive it below
+		finish := func() ncc.Op {
+			sendDown(nd, t, kAggDown, val)
+			return primitives.SyncAtStep(nd, startB+K+3, func([]ncc.Message) ncc.Op { return k(val) })
+		}
+		if t.IsRoot {
+			return finish()
+		}
+		var wait ncc.Cont
+		wait = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			waiting := true
+			for _, m := range w.Msgs {
 				if m.Kind == kAggDown {
 					val = m.A
 					waiting = false
 				}
 			}
+			if waiting {
+				return ncc.Await(wait)
+			}
+			return finish()
 		}
-		sendDown(nd, t, kAggDown, val)
+		return ncc.Await(wait)
 	}
-	primitives.SyncAt(nd, startB+K+3)
-	return val
+
+	afterUp := func() ncc.Op {
+		if !t.IsRoot {
+			nd.Send(t.Parent, ncc.Message{Kind: kAggUp, A: acc})
+		}
+		return primitives.SyncAtStep(nd, startA+K+3, func([]ncc.Message) ncc.Op { return phaseB() })
+	}
+	if got >= children {
+		return afterUp()
+	}
+	var ups ncc.Cont
+	ups = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+		for _, m := range w.Msgs {
+			if m.Kind == kAggUp {
+				acc = op.Combine(acc, m.A)
+				got++
+			}
+		}
+		if got < children {
+			return ncc.Await(ups)
+		}
+		return afterUp()
+	}
+	return ncc.Await(ups)
 }
 
-// FindByPosition returns the ID of the node whose annotated inorder position
-// equals pos, made common knowledge via aggregation (the Corollary 2 median
-// primitive generalized to any position). Rounds: one AggregateBroadcast.
-func FindByPosition(nd *ncc.Node, t *primitives.Tree, pos int) ncc.ID {
+// AggregateBroadcast is the blocking form of AggregateBroadcastStep.
+func AggregateBroadcast(nd *ncc.Node, t *primitives.Tree, value int64, op Op) int64 {
+	var out int64
+	ncc.RunOps(nd, AggregateBroadcastStep(nd, t, value, op, func(v int64) ncc.Op { out = v; return ncc.Done() }))
+	return out
+}
+
+// FindByPositionStep delivers the ID of the node whose annotated inorder
+// position equals pos, made common knowledge via aggregation (the Corollary 2
+// median primitive generalized to any position). Rounds: one
+// AggregateBroadcast.
+func FindByPositionStep(nd *ncc.Node, t *primitives.Tree, pos int, k func(ncc.ID) ncc.Op) ncc.Op {
 	v := int64(0)
 	if t.Pos == pos {
 		v = int64(nd.ID())
 	}
-	id := ncc.ID(AggregateBroadcast(nd, t, v, MaxOp()))
-	if id != ncc.None {
-		nd.Learn(id)
-	}
-	return id
+	return AggregateBroadcastStep(nd, t, v, MaxOp(), func(r int64) ncc.Op {
+		id := ncc.ID(r)
+		if id != ncc.None {
+			nd.Learn(id)
+		}
+		return k(id)
+	})
 }
 
-// Collect gathers every node's tokens at the leader (Theorem 5): tokens are
-// pipelined up the TBFS with per-round throttling that respects the node
+// FindByPosition is the blocking form of FindByPositionStep.
+func FindByPosition(nd *ncc.Node, t *primitives.Tree, pos int) ncc.ID {
+	var out ncc.ID
+	ncc.RunOps(nd, FindByPositionStep(nd, t, pos, func(id ncc.ID) ncc.Op { out = id; return ncc.Done() }))
+	return out
+}
+
+// CollectStep gathers every node's tokens at the leader (Theorem 5): tokens
+// are pipelined up the TBFS with per-round throttling that respects the node
 // capacity, then streamed from the root to the leader. All nodes must pass
 // the same leader ID (normally learned via Broadcast beforehand); nodes
-// without tokens pass nil. Returns the collected tokens at the leader (nil
+// without tokens pass nil. k receives the collected tokens at the leader (nil
 // elsewhere). Termination is event-driven — the root floods a phase-end
 // marker once everything has drained — so the round cost adapts to the token
-// count k as O(k + log n). On return all nodes are resynchronized to the
-// same round (the marker's flood time is corrected using each node's depth).
-func Collect(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID) []int64 {
+// count k as O(k + log n). All nodes are resynchronized to the same round
+// before k runs (the marker's flood time is corrected using each node's
+// depth).
+func CollectStep(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID, k func([]int64) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(nd.N())
 	budget := nd.Capacity()/2 - 1
 	if budget < 1 {
@@ -230,16 +291,22 @@ func Collect(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID) []
 	var leaderQueue []int64 // root only: tokens to stream to the leader
 	// resync aligns every node to the same round after the phase-end flood:
 	// a node at depth d learns of the end d rounds after the root flooded it.
-	resync := func() []int64 {
+	resync := func() ncc.Op {
 		base := nd.Round() - t.Depth
-		for _, m := range primitives.SyncAt(nd, base+K+3) {
-			if m.Kind == kLeaderTok {
-				atLeader = append(atLeader, m.A)
+		return primitives.SyncAtStep(nd, base+K+3, func(in []ncc.Message) ncc.Op {
+			for _, m := range in {
+				if m.Kind == kLeaderTok {
+					atLeader = append(atLeader, m.A)
+				}
 			}
-		}
-		return atLeader
+			return k(atLeader)
+		})
 	}
-	for {
+	// ended is the round in which the (relayed) flood departs; its inbox is
+	// intentionally discarded, exactly as in the event loop below.
+	ended := func(nd *ncc.Node, w ncc.Wake) ncc.Op { return resync() }
+	var iter func() ncc.Op
+	iter = func() ncc.Op {
 		// Ship up to budget tokens towards the root (or buffer at the root).
 		nSend := len(queue)
 		if nSend > budget {
@@ -269,26 +336,37 @@ func Collect(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID) []
 			leaderQueue = leaderQueue[nLead:]
 			if doneChildren == children && len(queue) == 0 && len(leaderQueue) == 0 {
 				sendDown(nd, t, kPhaseEnd, 0)
-				nd.NextRound() // the round in which the flood departs
-				return resync()
+				return ncc.Next(ended)
 			}
 		} else if doneChildren == children && len(queue) == 0 && !sentDone {
 			nd.Send(t.Parent, ncc.Message{Kind: kTokenDone})
 			sentDone = true
 		}
-		for _, m := range nd.NextRound() {
-			switch m.Kind {
-			case kToken:
-				queue = append(queue, m.A)
-			case kTokenDone:
-				doneChildren++
-			case kLeaderTok:
-				atLeader = append(atLeader, m.A)
-			case kPhaseEnd:
-				sendDown(nd, t, kPhaseEnd, 0)
-				nd.NextRound() // the round in which the relayed flood departs
-				return resync()
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				switch m.Kind {
+				case kToken:
+					queue = append(queue, m.A)
+				case kTokenDone:
+					doneChildren++
+				case kLeaderTok:
+					atLeader = append(atLeader, m.A)
+				case kPhaseEnd:
+					// Relay and stop immediately; the rest of this inbox is
+					// dead traffic from the drained phase.
+					sendDown(nd, t, kPhaseEnd, 0)
+					return ncc.Next(ended)
+				}
 			}
-		}
+			return iter()
+		})
 	}
+	return iter()
+}
+
+// Collect is the blocking form of CollectStep.
+func Collect(nd *ncc.Node, t *primitives.Tree, tokens []int64, leader ncc.ID) []int64 {
+	var out []int64
+	ncc.RunOps(nd, CollectStep(nd, t, tokens, leader, func(ts []int64) ncc.Op { out = ts; return ncc.Done() }))
+	return out
 }

@@ -21,6 +21,7 @@ import (
 	"graphrealize/internal/ncc"
 	"graphrealize/internal/primitives"
 	"graphrealize/internal/rankov"
+	"graphrealize/internal/sortnet"
 )
 
 // Outcome reports a node's view of the connectivity realization.
@@ -36,110 +37,151 @@ type Outcome struct {
 // RealizeNCC1 runs the Theorem 17 algorithm. It must run under the NCC1
 // model (it uses full ID knowledge); rho is this node's threshold.
 func RealizeNCC1(nd *ncc.Node, rho int) Outcome {
+	var out Outcome
+	ncc.RunOps(nd, RealizeNCC1Step(nd, rho, func(o Outcome) ncc.Op { out = o; return ncc.Done() }))
+	return out
+}
+
+// RealizeNCC1Step is the resumable form of RealizeNCC1.
+func RealizeNCC1Step(nd *ncc.Node, rho int, k func(Outcome) ncc.Op) ncc.Op {
 	out := Outcome{}
 	n := nd.N()
 	// Even NCC1 needs a structure for aggregation; the Gk tree costs
 	// O(log n) rounds and keeps the protocol identical to the NCC0 stack.
-	_, _, gk := primitives.BuildAll(nd)
-	bad := int64(0)
-	if rho < 0 || rho > n-1 {
-		bad = 1
-	}
-	if aggregate.AggregateBroadcast(nd, &gk, bad, aggregate.OrOp()) == 1 {
-		nd.Unrealizable()
-		return out
-	}
-	out.OK = true
-	if n == 1 {
-		return out
-	}
-	// Find w = argmax ρ (ties toward the smaller ID), by encoded max.
-	enc := int64(rho)*int64(n+2) + int64(n+1) - int64(nd.ID())
-	best := aggregate.AggregateBroadcast(nd, &gk, enc, aggregate.MaxOp())
-	w := ncc.ID(int64(n+1) - best%int64(n+2))
-	out.D0 = int(best / int64(n+2))
-	if nd.ID() == w || rho == 0 {
-		return out
-	}
-	// X_v = {w} plus the first ρ(v)−1 other IDs, entirely local in NCC1.
-	nd.AddEdge(w)
-	out.Stored++
-	for _, id := range nd.AllIDs() {
-		if out.Stored >= rho {
-			break
+	return primitives.BuildAllStep(nd, func(_ primitives.Path, _ primitives.Levels, gk primitives.Tree) ncc.Op {
+		bad := int64(0)
+		if rho < 0 || rho > n-1 {
+			bad = 1
 		}
-		if id == nd.ID() || id == w {
-			continue
-		}
-		nd.AddEdge(id)
-		out.Stored++
-	}
-	return out
+		return aggregate.AggregateBroadcastStep(nd, &gk, bad, aggregate.OrOp(), func(anyBad int64) ncc.Op {
+			if anyBad == 1 {
+				nd.Unrealizable()
+				return k(out)
+			}
+			out.OK = true
+			if n == 1 {
+				return k(out)
+			}
+			// Find w = argmax ρ (ties toward the smaller ID), by encoded max.
+			enc := int64(rho)*int64(n+2) + int64(n+1) - int64(nd.ID())
+			return aggregate.AggregateBroadcastStep(nd, &gk, enc, aggregate.MaxOp(), func(best int64) ncc.Op {
+				w := ncc.ID(int64(n+1) - best%int64(n+2))
+				out.D0 = int(best / int64(n+2))
+				if nd.ID() == w || rho == 0 {
+					return k(out)
+				}
+				// X_v = {w} plus the first ρ(v)−1 other IDs, entirely local
+				// in NCC1.
+				nd.AddEdge(w)
+				out.Stored++
+				for _, id := range nd.AllIDs() {
+					if out.Stored >= rho {
+						break
+					}
+					if id == nd.ID() || id == w {
+						continue
+					}
+					nd.AddEdge(id)
+					out.Stored++
+				}
+				return k(out)
+			})
+		})
+	})
 }
 
 // RealizeNCC0 runs Algorithm 6 (works in NCC0 and NCC1). env must come from
 // core.Setup on the same run; rho is this node's threshold. The realization
 // is explicit: both endpoints of every edge store it.
 func RealizeNCC0(nd *ncc.Node, env *core.Env, rho int) Outcome {
+	var out Outcome
+	ncc.RunOps(nd, RealizeNCC0Step(nd, env, rho, func(o Outcome) ncc.Op { out = o; return ncc.Done() }))
+	return out
+}
+
+// RealizeNCC0Step is the resumable form of RealizeNCC0.
+func RealizeNCC0Step(nd *ncc.Node, env *core.Env, rho int, k func(Outcome) ncc.Op) ncc.Op {
 	out := Outcome{}
 	n := nd.N()
 	bad := int64(0)
 	if rho < 0 || rho > n-1 {
 		bad = 1
 	}
-	if aggregate.AggregateBroadcast(nd, &env.GK, bad, aggregate.OrOp()) == 1 {
-		nd.Unrealizable()
-		return out
-	}
-	out.OK = true
-	if n == 1 {
-		return out
-	}
-
-	// Step 1–2: sort by non-increasing ρ and broadcast d₀ = ρ(x₁).
-	sr := env.Sort.Sort(nd, int64(rho))
-	ov := rankov.Build(nd, sr.Rank, sr.Pred, sr.Succ)
-	d0 := int(aggregate.AggregateBroadcast(nd, &env.GK, int64(rho), aggregate.MaxOp()))
-	out.D0 = d0
-	if d0 == 0 {
-		return out
-	}
-
-	// Step 3: upper-envelope degree realization over the core x₁..x_{d₀+1}
-	// (Theorem 13), made explicit so the Menger star argument applies with
-	// both endpoints aware.
-	inCore := sr.Rank <= d0
-	coreDeg := 0
-	if inCore {
-		coreDeg = rho
-	}
-	degOut := core.Realize(nd, env, coreDeg, core.Envelope, inCore)
-	out.Stored += len(degOut.Neighbors)
-	out.Stored += core.MakeExplicit(nd, env, degOut.Neighbors, d0)
-
-	// Steps 4–6: each rank i > d₀ introduces itself to its ρ predecessors
-	// via uniform-shift waves; each wave w serves distance w in ⌈log n⌉
-	// rounds with zero contention, and the reverse wave makes it explicit.
-	tailRho := int64(0)
-	if sr.Rank > d0 {
-		tailRho = int64(rho)
-	}
-	maxW := int(aggregate.AggregateBroadcast(nd, &env.GK, tailRho, aggregate.MaxOp()))
-	for w := 1; w <= maxW; w++ {
-		var tok *rankov.ShiftToken
-		if sr.Rank > d0 && rho >= w {
-			tok = &rankov.ShiftToken{ID: nd.ID()}
+	return aggregate.AggregateBroadcastStep(nd, &env.GK, bad, aggregate.OrOp(), func(anyBad int64) ncc.Op {
+		if anyBad == 1 {
+			nd.Unrealizable()
+			return k(out)
 		}
-		var reply *rankov.ShiftToken
-		for _, got := range rankov.ShiftDown(nd, ov, tok, w) {
-			nd.AddEdge(got.ID)
-			out.Stored++
-			reply = &rankov.ShiftToken{ID: nd.ID()}
+		out.OK = true
+		if n == 1 {
+			return k(out)
 		}
-		for _, got := range rankov.ShiftUp(nd, ov, reply, w) {
-			nd.AddEdge(got.ID)
-			out.Stored++
-		}
-	}
-	return out
+
+		// Step 1–2: sort by non-increasing ρ and broadcast d₀ = ρ(x₁).
+		return env.Sort.SortStep(nd, int64(rho), func(sr sortnet.Result) ncc.Op {
+			return rankov.BuildStep(nd, sr.Rank, sr.Pred, sr.Succ, func(ov *rankov.Overlay) ncc.Op {
+				return aggregate.AggregateBroadcastStep(nd, &env.GK, int64(rho), aggregate.MaxOp(), func(d064 int64) ncc.Op {
+					d0 := int(d064)
+					out.D0 = d0
+					if d0 == 0 {
+						return k(out)
+					}
+
+					// Step 3: upper-envelope degree realization over the core
+					// x₁..x_{d₀+1} (Theorem 13), made explicit so the Menger
+					// star argument applies with both endpoints aware.
+					inCore := sr.Rank <= d0
+					coreDeg := 0
+					if inCore {
+						coreDeg = rho
+					}
+					return core.RealizeStep(nd, env, coreDeg, core.Envelope, inCore, func(degOut core.Outcome) ncc.Op {
+						out.Stored += len(degOut.Neighbors)
+						return core.MakeExplicitStep(nd, env, degOut.Neighbors, d0, func(stored int) ncc.Op {
+							out.Stored += stored
+
+							// Steps 4–6: each rank i > d₀ introduces itself to
+							// its ρ predecessors via uniform-shift waves; each
+							// wave w serves distance w in ⌈log n⌉ rounds with
+							// zero contention, and the reverse wave makes it
+							// explicit.
+							tailRho := int64(0)
+							if sr.Rank > d0 {
+								tailRho = int64(rho)
+							}
+							return aggregate.AggregateBroadcastStep(nd, &env.GK, tailRho, aggregate.MaxOp(), func(maxW64 int64) ncc.Op {
+								maxW := int(maxW64)
+								var wave func(w int) ncc.Op
+								wave = func(w int) ncc.Op {
+									if w > maxW {
+										return k(out)
+									}
+									var tok *rankov.ShiftToken
+									if sr.Rank > d0 && rho >= w {
+										tok = &rankov.ShiftToken{ID: nd.ID()}
+									}
+									return rankov.ShiftDownStep(nd, ov, tok, w, func(down []rankov.ShiftToken) ncc.Op {
+										var reply *rankov.ShiftToken
+										for _, got := range down {
+											nd.AddEdge(got.ID)
+											out.Stored++
+											reply = &rankov.ShiftToken{ID: nd.ID()}
+										}
+										return rankov.ShiftUpStep(nd, ov, reply, w, func(up []rankov.ShiftToken) ncc.Op {
+											for _, got := range up {
+												nd.AddEdge(got.ID)
+												out.Stored++
+											}
+											return wave(w + 1)
+										})
+									})
+								}
+								return wave(1)
+							})
+						})
+					})
+				})
+			})
+		})
+	})
 }

@@ -58,12 +58,21 @@ type Env struct {
 	Sort sortnet.Sorter
 }
 
-// Setup builds the §3.1 structures on Gk. Rounds: O(log n).
+// SetupStep builds the §3.1 structures on Gk and delivers the Env to k.
+// Rounds: O(log n).
+func SetupStep(nd *ncc.Node, method sortnet.Method, k func(*Env) ncc.Op) ncc.Op {
+	return primitives.BuildAllStep(nd, func(p primitives.Path, lv primitives.Levels, t primitives.Tree) ncc.Op {
+		env := &Env{Path: p, Lv: lv, GK: t}
+		env.Sort = sortnet.Sorter{Method: method, Path: p, Pos: t.Pos, Tree: &env.GK}
+		return k(env)
+	})
+}
+
+// Setup is the blocking form of SetupStep.
 func Setup(nd *ncc.Node, method sortnet.Method) *Env {
-	p, lv, t := primitives.BuildAll(nd)
-	env := &Env{Path: p, Lv: lv, GK: t}
-	env.Sort = sortnet.Sorter{Method: method, Path: p, Pos: t.Pos, Tree: &env.GK}
-	return env
+	var out *Env
+	ncc.RunOps(nd, SetupStep(nd, method, func(env *Env) ncc.Op { out = env; return ncc.Done() }))
+	return out
 }
 
 // Outcome reports a node's view of the realization.
@@ -95,6 +104,14 @@ type Outcome struct {
 // AddEdge. Centers do not store members (use MakeExplicit afterwards for an
 // explicit realization).
 func Realize(nd *ncc.Node, env *Env, deg int, mode Mode, active bool) Outcome {
+	var out Outcome
+	ncc.RunOps(nd, RealizeStep(nd, env, deg, mode, active, func(o Outcome) ncc.Op { out = o; return ncc.Done() }))
+	return out
+}
+
+// RealizeStep is the resumable form of Realize; the Outcome is delivered
+// to k.
+func RealizeStep(nd *ncc.Node, env *Env, deg int, mode Mode, active bool, k func(Outcome) ncc.Op) ncc.Op {
 	n := nd.N()
 	out := Outcome{OK: true}
 
@@ -114,17 +131,10 @@ func Realize(nd *ncc.Node, env *Env, deg int, mode Mode, active bool) Outcome {
 			myDeg = n - 1
 		}
 	}
-	if aggregate.AggregateBroadcast(nd, &env.GK, bad, aggregate.OrOp()) == 1 {
-		nd.Unrealizable()
-		out.OK = false
-		return out
-	}
-	if !active {
-		myDeg = 0
-	}
-
 	done := false // true once this node served as a group center
-	for {
+
+	var phase func() ncc.Op
+	phase = func() ncc.Op {
 		// Sort key: live active nodes by remaining degree; finished centers
 		// sink to −1 and bystanders to −2, below any live zero-degree node.
 		key := int64(myDeg)
@@ -134,69 +144,92 @@ func Realize(nd *ncc.Node, env *Env, deg int, mode Mode, active bool) Outcome {
 		if !active {
 			key = -2
 		}
-		sr := env.Sort.Sort(nd, key)
-		// δ = current maximum remaining degree (Step 4 broadcast).
-		delta64 := aggregate.AggregateBroadcast(nd, &env.GK, key, aggregate.MaxOp())
-		if delta64 < 1 {
-			break
-		}
-		out.Phases++
-		delta := int(delta64)
-		if out.Phases == 1 {
-			out.Delta = delta
-		}
-		// N = multiplicity of δ (Step 6 aggregation + broadcast).
-		cnt := int64(0)
-		if key == delta64 {
-			cnt = 1
-		}
-		bigN := int(aggregate.AggregateBroadcast(nd, &env.GK, cnt, aggregate.SumOp()))
-		q := bigN / (delta + 1)
-		if q < 1 {
-			q = 1
-		}
-		// Group structure: centers at ranks α(δ+1) for α ∈ [0, q); each
-		// center's members are the next δ ranks (Steps 7–10). The liveness
-		// invariant (see DESIGN.md §4/T5 notes) guarantees every member
-		// rank belongs to a live active node.
-		isCenter := !done && active && key >= 0 &&
-			sr.Rank%(delta+1) == 0 && sr.Rank/(delta+1) < q
-		ov := rankov.Build(nd, sr.Rank, sr.Pred, sr.Succ)
-		var job *rankov.Job
-		if isCenter {
-			job = &rankov.Job{Payload: nd.ID(), Lo: sr.Rank + 1, Hi: sr.Rank + delta}
-		}
-		neg := int64(0)
-		for _, g := range rankov.Disseminate(nd, ov, &env.GK, job) {
-			if g.Lo != sr.Rank {
-				panic(fmt.Sprintf("core: rank %d received a group token for rank %d", sr.Rank, g.Lo))
-			}
-			nd.AddEdge(g.Payload)
-			out.Neighbors = append(out.Neighbors, g.Payload)
-			out.Realized++
-			myDeg--
-			if myDeg < 0 {
-				if mode == Envelope {
-					myDeg = 0
-				} else {
-					neg = 1
+		return env.Sort.SortStep(nd, key, func(sr sortnet.Result) ncc.Op {
+			// δ = current maximum remaining degree (Step 4 broadcast).
+			return aggregate.AggregateBroadcastStep(nd, &env.GK, key, aggregate.MaxOp(), func(delta64 int64) ncc.Op {
+				if delta64 < 1 {
+					return k(out)
 				}
-			}
-		}
-		if isCenter {
-			done = true
-			myDeg = 0
-			out.Realized += delta
-		}
-		// Step 13's alarm: any negative remainder makes the sequence
-		// unrealizable; everyone learns it in one aggregation.
-		if aggregate.AggregateBroadcast(nd, &env.GK, neg, aggregate.OrOp()) == 1 {
+				out.Phases++
+				delta := int(delta64)
+				if out.Phases == 1 {
+					out.Delta = delta
+				}
+				// N = multiplicity of δ (Step 6 aggregation + broadcast).
+				cnt := int64(0)
+				if key == delta64 {
+					cnt = 1
+				}
+				return aggregate.AggregateBroadcastStep(nd, &env.GK, cnt, aggregate.SumOp(), func(sum int64) ncc.Op {
+					bigN := int(sum)
+					q := bigN / (delta + 1)
+					if q < 1 {
+						q = 1
+					}
+					// Group structure: centers at ranks α(δ+1) for α ∈ [0, q);
+					// each center's members are the next δ ranks (Steps 7–10).
+					// The liveness invariant (see DESIGN.md §4/T5 notes)
+					// guarantees every member rank belongs to a live active
+					// node.
+					isCenter := !done && active && key >= 0 &&
+						sr.Rank%(delta+1) == 0 && sr.Rank/(delta+1) < q
+					return rankov.BuildStep(nd, sr.Rank, sr.Pred, sr.Succ, func(ov *rankov.Overlay) ncc.Op {
+						var job *rankov.Job
+						if isCenter {
+							job = &rankov.Job{Payload: nd.ID(), Lo: sr.Rank + 1, Hi: sr.Rank + delta}
+						}
+						return rankov.DisseminateStep(nd, ov, &env.GK, job, func(groups []rankov.Job) ncc.Op {
+							neg := int64(0)
+							for _, g := range groups {
+								if g.Lo != sr.Rank {
+									panic(fmt.Sprintf("core: rank %d received a group token for rank %d", sr.Rank, g.Lo))
+								}
+								nd.AddEdge(g.Payload)
+								out.Neighbors = append(out.Neighbors, g.Payload)
+								out.Realized++
+								myDeg--
+								if myDeg < 0 {
+									if mode == Envelope {
+										myDeg = 0
+									} else {
+										neg = 1
+									}
+								}
+							}
+							if isCenter {
+								done = true
+								myDeg = 0
+								out.Realized += delta
+							}
+							// Step 13's alarm: any negative remainder makes
+							// the sequence unrealizable; everyone learns it in
+							// one aggregation.
+							return aggregate.AggregateBroadcastStep(nd, &env.GK, neg, aggregate.OrOp(), func(alarm int64) ncc.Op {
+								if alarm == 1 {
+									nd.Unrealizable()
+									out.OK = false
+									return k(out)
+								}
+								return phase()
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+
+	return aggregate.AggregateBroadcastStep(nd, &env.GK, bad, aggregate.OrOp(), func(v int64) ncc.Op {
+		if v == 1 {
 			nd.Unrealizable()
 			out.OK = false
-			return out
+			return k(out)
 		}
-	}
-	return out
+		if !active {
+			myDeg = 0
+		}
+		return phase()
+	})
 }
 
 // MakeExplicit converts the implicit realization into an explicit one: every
@@ -209,6 +242,14 @@ func Realize(nd *ncc.Node, env *Env, deg int, mode Mode, active bool) Outcome {
 // Realize; delta the maximum degree (Outcome.Delta, identical at all nodes).
 // Returns the number of reverse edges stored.
 func MakeExplicit(nd *ncc.Node, env *Env, neighbors []ncc.ID, delta int) int {
+	var out int
+	ncc.RunOps(nd, MakeExplicitStep(nd, env, neighbors, delta, func(stored int) ncc.Op { out = stored; return ncc.Done() }))
+	return out
+}
+
+// MakeExplicitStep is the resumable form of MakeExplicit; the number of
+// reverse edges stored is delivered to k.
+func MakeExplicitStep(nd *ncc.Node, env *Env, neighbors []ncc.ID, delta int, k func(int) ncc.Op) ncc.Op {
 	capi := nd.Capacity()
 	budget := capi / 2
 	if budget < 1 {
@@ -220,6 +261,8 @@ func MakeExplicit(nd *ncc.Node, env *Env, neighbors []ncc.ID, delta int) int {
 	// all nodes run it in lockstep.
 	total := window + delta/budget + 4
 	// Schedule each notification in a uniformly random round of the window.
+	// All randomness is drawn before the first suspension, so the schedule is
+	// identical across scheduler drivers.
 	schedule := make(map[int][]ncc.ID, len(neighbors))
 	for _, nb := range neighbors {
 		r := nd.Rand().Intn(window)
@@ -227,7 +270,15 @@ func MakeExplicit(nd *ncc.Node, env *Env, neighbors []ncc.ID, delta int) int {
 	}
 	stored := 0
 	var backlog []ncc.ID
-	for r := 0; r < total; r++ {
+	var round func(r int) ncc.Op
+	round = func(r int) ncc.Op {
+		if r >= total {
+			if len(backlog) > 0 {
+				panic(fmt.Sprintf("core: MakeExplicit backlog not drained (%d left of %d, window %d)",
+					len(backlog), len(neighbors), total))
+			}
+			return k(stored)
+		}
 		backlog = append(backlog, schedule[r]...)
 		nSend := len(backlog)
 		if nSend > budget {
@@ -237,16 +288,15 @@ func MakeExplicit(nd *ncc.Node, env *Env, neighbors []ncc.ID, delta int) int {
 			nd.Send(backlog[i], ncc.Message{Kind: kNotify})
 		}
 		backlog = backlog[nSend:]
-		for _, m := range nd.NextRound() {
-			if m.Kind == kNotify {
-				nd.AddEdge(m.Src)
-				stored++
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				if m.Kind == kNotify {
+					nd.AddEdge(m.Src)
+					stored++
+				}
 			}
-		}
+			return round(r + 1)
+		})
 	}
-	if len(backlog) > 0 {
-		panic(fmt.Sprintf("core: MakeExplicit backlog not drained (%d left of %d, window %d)",
-			len(backlog), len(neighbors), total))
-	}
-	return stored
+	return round(0)
 }

@@ -7,7 +7,11 @@ import (
 
 // benchSchedulers enumerates the drivers every engine benchmark runs under,
 // so benchstat output compares them side by side.
-var benchSchedulers = []SchedKind{SchedBarrier, SchedPool}
+var benchSchedulers = []SchedKind{SchedBarrier, SchedPool, SchedFlat}
+
+// Benchmarks run step-form protocols through RunProgram so all drivers —
+// including flat, which cannot host blocking calls — execute the identical
+// protocol representation and ns/op is a pure driver comparison.
 
 // BenchmarkDeliveryPooling drives the densest delivery workload — every node
 // sends to its successor every round — so allocs/op tracks the receive-buffer
@@ -20,13 +24,18 @@ func BenchmarkDeliveryPooling(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				s := New(Config{N: n, Seed: 1, Sched: sched})
-				_, err := s.Run(func(nd *Node) {
-					for r := 0; r < rounds; r++ {
+				_, err := s.RunProgram(func(nd *Node) Op {
+					var loop func(r int) Op
+					loop = func(r int) Op {
+						if r >= rounds {
+							return Done()
+						}
 						if succ := nd.InitialSucc(); succ != None {
 							nd.Send(succ, Message{Kind: 1, A: int64(r)})
 						}
-						nd.NextRound()
+						return Next(func(nd *Node, w Wake) Op { return loop(r + 1) })
 					}
+					return loop(0)
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -39,7 +48,8 @@ func BenchmarkDeliveryPooling(b *testing.B) {
 // BenchmarkBarrierOverhead measures the scheduler's wake/park round trip
 // with no messages in flight — n nodes spinning through empty rounds — at the
 // sizes the batch-runner benchmarks use. This isolates exactly the cost the
-// pool driver exists to cut: per-round wakeup of the whole active set.
+// pool and flat drivers exist to cut: per-round wakeup of the whole active
+// set.
 func BenchmarkBarrierOverhead(b *testing.B) {
 	const rounds = 64
 	for _, n := range []int{256, 4096, 65536} {
@@ -48,10 +58,15 @@ func BenchmarkBarrierOverhead(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					s := New(Config{N: n, Seed: 1, Sched: sched})
-					_, err := s.Run(func(nd *Node) {
-						for r := 0; r < rounds; r++ {
-							nd.NextRound()
+					_, err := s.RunProgram(func(nd *Node) Op {
+						var loop func(r int) Op
+						loop = func(r int) Op {
+							if r >= rounds {
+								return Done()
+							}
+							return Next(func(nd *Node, w Wake) Op { return loop(r + 1) })
 						}
+						return loop(0)
 					})
 					if err != nil {
 						b.Fatal(err)

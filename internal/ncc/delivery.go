@@ -16,8 +16,9 @@ type delivery struct {
 	capacity int
 	strict   bool
 
-	recvCnt []int // per-node receive count, current round
-	touched []int // scratch: indices with nonzero recvCnt this round
+	recvCnt []int   // per-node receive count, current round
+	touched []int   // scratch: indices with nonzero recvCnt this round
+	woken   []*Node // scratch: awaiters woken this round, consumed before the next route
 
 	// bufPool recycles inbox slices. A node's inbox slice is handed to its
 	// protocol by park and stays valid until the node's next barrier call,
@@ -75,6 +76,7 @@ func (d *delivery) recycle(buf []Message) {
 // message counts and congestion statistics for the round.
 func (d *delivery) route(active []*Node, awaiters map[int]*Node, round int, met *Metrics) (woken []*Node, err error) {
 	touched := d.touched[:0]
+	woken = d.woken[:0]
 	maxSent := 0
 	for _, nd := range active {
 		if len(nd.outbox) > maxSent {
@@ -121,5 +123,6 @@ func (d *delivery) route(active []*Node, awaiters map[int]*Node, round int, met 
 		d.recvCnt[i] = 0
 	}
 	d.touched = touched
+	d.woken = woken
 	return woken, err
 }

@@ -134,7 +134,9 @@ func (s *Sim) drive(panics chan error) {
 // nodes that checked in Running, awaiters that received mail (woken), and
 // sleepers whose wake round has arrived.
 func (s *Sim) nextActive(woken []*Node) []*Node {
-	next := woken[:0:0]
+	// nextScratch is reused across rounds: wakeSet copies the result into
+	// s.active before the next call, so the backing array is free again.
+	next := s.nextScratch[:0]
 	for _, nd := range s.active {
 		if nd.state == stateRunning {
 			next = append(next, nd)
@@ -144,6 +146,7 @@ func (s *Sim) nextActive(woken []*Node) []*Node {
 	for s.sleepers.Len() > 0 && s.sleepers[0].wakeRound <= s.round {
 		next = append(next, heap.Pop(&s.sleepers).(*Node))
 	}
+	s.nextScratch = next
 	return next
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -13,22 +14,38 @@ import (
 // single-worker pool), pinning the contract that the driver choice never
 // changes a run's observable outcome — traces, metrics, error classification,
 // progress-hook ordering, and sleep fast-forwarding are all engine policy.
+//
+// Every test protocol exists in two forms: a blocking body (the legacy node
+// API) and a step-form twin (program.go). Goroutine drivers run the blocking
+// form; step variants run the step form via RunProgram. The barrier-steps
+// variant runs the step form on the barrier driver, pinning that the RunOps
+// adapter is observably identical to native blocking code — which, combined
+// with the flat variant, proves blocking ≡ steps ≡ flat.
 
 // schedVariant names one driver configuration under test. newSim exists so
 // the suite can cover pool geometries (single worker) that Config alone
-// cannot express.
+// cannot express; steps selects the step-form protocol twin via RunProgram.
 type schedVariant struct {
 	name   string
+	steps  bool
 	newSim func(Config) *Sim
+}
+
+// run executes the variant's preferred protocol form on s.
+func (v schedVariant) run(s *Sim, blocking func(*Node), entry Proto) (*Trace, error) {
+	if v.steps {
+		return s.RunProgram(entry)
+	}
+	return s.Run(blocking)
 }
 
 func schedVariants() []schedVariant {
 	return []schedVariant{
-		{"barrier", func(cfg Config) *Sim {
+		{"barrier", false, func(cfg Config) *Sim {
 			cfg.Sched = SchedBarrier
 			return New(cfg)
 		}},
-		{"pool", func(cfg Config) *Sim {
+		{"pool", false, func(cfg Config) *Sim {
 			cfg.Sched = SchedPool
 			return New(cfg)
 		}},
@@ -36,7 +53,7 @@ func schedVariants() []schedVariant {
 		// node serializes through a single dispatcher, so any slice that
 		// blocked on anything but the barrier would deadlock here. It also
 		// pins the engine-inline fast path for every release size.
-		{"pool-1worker", func(cfg Config) *Sim {
+		{"pool-1worker", false, func(cfg Config) *Sim {
 			s := New(cfg)
 			s.sched = newPoolScheduler(1)
 			return s
@@ -44,7 +61,7 @@ func schedVariants() []schedVariant {
 		// Three workers force the chunked dispatch path even on single-core
 		// machines (where GOMAXPROCS would otherwise select one worker and
 		// every release would run inline).
-		{"pool-3workers", func(cfg Config) *Sim {
+		{"pool-3workers", false, func(cfg Config) *Sim {
 			s := New(cfg)
 			s.sched = newPoolScheduler(3)
 			return s
@@ -54,12 +71,24 @@ func schedVariants() []schedVariant {
 		// loop) regardless of GOMAXPROCS, covering the countdown reuse
 		// between batches that production sizes only hit at n > workers ×
 		// poolWindow.
-		{"pool-tinywindow", func(cfg Config) *Sim {
+		{"pool-tinywindow", false, func(cfg Config) *Sim {
 			s := New(cfg)
 			p := newPoolScheduler(2)
 			p.window = 4
 			s.sched = p
 			return s
+		}},
+		// The zero-goroutine columnar driver; runs the step-form twins.
+		{"flat", true, func(cfg Config) *Sim {
+			cfg.Sched = SchedFlat
+			return New(cfg)
+		}},
+		// Step-form protocols on the barrier driver: pins RunOps ≡ blocking,
+		// so flat-vs-barrier diffs can be attributed to the driver, not the
+		// protocol translation.
+		{"barrier-steps", true, func(cfg Config) *Sim {
+			cfg.Sched = SchedBarrier
+			return New(cfg)
 		}},
 	}
 }
@@ -96,6 +125,37 @@ func mixedProto(rounds int) func(*Node) {
 	}
 }
 
+// mixedProtoStep is mixedProto compiled to step form: the loop variable lives
+// in the closure chain instead of on a goroutine stack.
+func mixedProtoStep(rounds int) Proto {
+	return func(nd *Node) Op {
+		succ := nd.InitialSucc()
+		var loop func(r int) Op
+		loop = func(r int) Op {
+			if r >= rounds {
+				return Collective("tally", int64(1), func(nd *Node, w Wake) Op {
+					nd.SetOutput("total", w.Coll.(int64))
+					if succ != None {
+						nd.AddEdge(succ)
+					}
+					return Done()
+				})
+			}
+			k := func(nd *Node, w Wake) Op { return loop(r + 1) }
+			switch {
+			case r%5 == 3 && succ != None:
+				nd.Send(succ, Message{Kind: 1, A: int64(r)})
+				return Next(k)
+			case r%7 == 5:
+				return Sleep(2, k)
+			default:
+				return Next(k)
+			}
+		}
+		return loop(0)
+	}
+}
+
 func registerTally(s *Sim) {
 	s.RegisterCollective("tally", func(s *Sim, ins []any) ([]any, int) {
 		var sum int64
@@ -118,7 +178,7 @@ func runMixed(t *testing.T, v schedVariant, n int, seed int64) *Trace {
 	t.Helper()
 	s := v.newSim(Config{N: n, Seed: seed})
 	registerTally(s)
-	tr, err := s.Run(mixedProto(24))
+	tr, err := v.run(s, mixedProto(24), mixedProtoStep(24))
 	if err != nil {
 		t.Fatalf("%s: %v", v.name, err)
 	}
@@ -161,9 +221,13 @@ func TestSchedConformanceTraceIdentical(t *testing.T) {
 func TestSchedConformanceDeadlock(t *testing.T) {
 	forEachScheduler(t, func(t *testing.T, v schedVariant) {
 		s := v.newSim(Config{N: 5, Seed: 2})
-		_, err := s.Run(func(nd *Node) {
-			nd.AwaitMessage() // nobody will ever write
-		})
+		_, err := v.run(s,
+			func(nd *Node) {
+				nd.AwaitMessage() // nobody will ever write
+			},
+			func(nd *Node) Op {
+				return Await(func(nd *Node, w Wake) Op { return Done() })
+			})
 		if !errors.Is(err, ErrDeadlock) {
 			t.Fatalf("want ErrDeadlock, got %v", err)
 		}
@@ -176,14 +240,26 @@ func TestSchedConformanceStopAtBarrier(t *testing.T) {
 		cfg := Config{N: 4, Seed: 3, Stop: stop}
 		s := v.newSim(cfg)
 		first := s.IDs()[0]
-		tr, err := s.Run(func(nd *Node) {
-			for r := 0; ; r++ {
-				if nd.ID() == first && r == 50 {
-					close(stop)
-				}
-				nd.NextRound()
+		spin := func(nd *Node, r int) {
+			if nd.ID() == first && r == 50 {
+				close(stop)
 			}
-		})
+		}
+		tr, err := v.run(s,
+			func(nd *Node) {
+				for r := 0; ; r++ {
+					spin(nd, r)
+					nd.NextRound()
+				}
+			},
+			func(nd *Node) Op {
+				var loop func(r int) Op
+				loop = func(r int) Op {
+					spin(nd, r)
+					return Next(func(nd *Node, w Wake) Op { return loop(r + 1) })
+				}
+				return loop(0)
+			})
 		if !errors.Is(err, ErrCanceled) {
 			t.Fatalf("want ErrCanceled, got %v", err)
 		}
@@ -205,7 +281,7 @@ func TestSchedConformanceProgressOrdering(t *testing.T) {
 		}}
 		s := v.newSim(cfg)
 		registerTally(s)
-		if _, err := s.Run(mixedProto(16)); err != nil {
+		if _, err := v.run(s, mixedProto(16), mixedProtoStep(16)); err != nil {
 			t.Fatalf("%s: %v", v.name, err)
 		}
 		return ticks
@@ -234,10 +310,16 @@ func TestSchedConformanceSleepFastForward(t *testing.T) {
 	const skip = 1_000_000
 	forEachScheduler(t, func(t *testing.T, v schedVariant) {
 		s := v.newSim(Config{N: 8, Seed: 4})
-		tr, err := s.Run(func(nd *Node) {
-			nd.SkipRounds(skip)
-			nd.NextRound()
-		})
+		tr, err := v.run(s,
+			func(nd *Node) {
+				nd.SkipRounds(skip)
+				nd.NextRound()
+			},
+			func(nd *Node) Op {
+				return Sleep(skip, func(nd *Node, w Wake) Op {
+					return Next(func(nd *Node, w Wake) Op { return Done() })
+				})
+			})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,15 +337,26 @@ func TestSchedConformancePanicPropagates(t *testing.T) {
 	forEachScheduler(t, func(t *testing.T, v schedVariant) {
 		s := v.newSim(Config{N: 4, Seed: 6})
 		victim := s.IDs()[1]
-		_, err := s.Run(func(nd *Node) {
-			nd.NextRound()
-			if nd.ID() == victim {
-				panic("boom")
-			}
-			for {
+		_, err := v.run(s,
+			func(nd *Node) {
 				nd.NextRound()
-			}
-		})
+				if nd.ID() == victim {
+					panic("boom")
+				}
+				for {
+					nd.NextRound()
+				}
+			},
+			func(nd *Node) Op {
+				var loop Cont
+				loop = func(nd *Node, w Wake) Op { return Next(loop) }
+				return Next(func(nd *Node, w Wake) Op {
+					if nd.ID() == victim {
+						panic("boom")
+					}
+					return Next(loop)
+				})
+			})
 		if err == nil || !strings.Contains(err.Error(), "boom") {
 			t.Fatalf("want propagated panic, got %v", err)
 		}
@@ -275,17 +368,75 @@ func TestSchedConformancePanicPropagates(t *testing.T) {
 func TestSchedConformanceStrictViolation(t *testing.T) {
 	forEachScheduler(t, func(t *testing.T, v schedVariant) {
 		s := v.newSim(Config{N: 4, Seed: 8, CapMul: 1, Strict: true, Model: NCC1})
-		_, err := s.Run(func(nd *Node) {
+		flood := func(nd *Node) {
 			if nd.ID() == 1 {
 				// Flood node 2 beyond the capacity from a single sender.
 				for i := 0; i < nd.Capacity()+1; i++ {
 					nd.Send(2, Message{Kind: 1})
 				}
 			}
-			nd.NextRound()
-		})
+		}
+		_, err := v.run(s,
+			func(nd *Node) {
+				flood(nd)
+				nd.NextRound()
+			},
+			func(nd *Node) Op {
+				flood(nd)
+				return Next(func(nd *Node, w Wake) Op { return Done() })
+			})
 		if err == nil {
 			t.Fatal("want a strict capacity violation error")
 		}
 	})
+}
+
+// TestFlatZeroNodeGoroutines is the acceptance check on the tentpole's whole
+// point: a flat run at large n keeps the process goroutine count O(1) — the
+// engine runs everything — instead of O(n).
+func TestFlatZeroNodeGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	maxG := 0
+	s := New(Config{N: 20_000, Seed: 5, Sched: SchedFlat, Progress: func(round, msgs int) {
+		if g := runtime.NumGoroutine(); g > maxG {
+			maxG = g
+		}
+	}})
+	registerTally(s)
+	_, err := s.RunProgram(mixedProtoStep(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxG > base+8 {
+		t.Fatalf("flat run grew the goroutine count: base=%d max=%d (want O(1), not O(n))", base, maxG)
+	}
+}
+
+// TestFlatRefusesBlockingRun pins the guard rails: Sim.Run on a flat sim is a
+// clean error, and a blocking Node call smuggled into a step classifies as a
+// node panic naming the offense.
+func TestFlatRefusesBlockingRun(t *testing.T) {
+	s := New(Config{N: 2, Seed: 1, Sched: SchedFlat})
+	if _, err := s.Run(func(nd *Node) {}); err == nil || !strings.Contains(err.Error(), "RunProgram") {
+		t.Fatalf("want a RunProgram redirect error, got %v", err)
+	}
+
+	s = New(Config{N: 2, Seed: 1, Sched: SchedFlat})
+	_, err := s.RunProgram(func(nd *Node) Op {
+		nd.NextRound() // blocking call inside a step
+		return Done()
+	})
+	if err == nil || !strings.Contains(err.Error(), "flat-driver step") {
+		t.Fatalf("want a blocking-call-inside-step panic error, got %v", err)
+	}
+}
+
+// TestFlatNilContinuation pins that a malformed Op (suspension without a
+// continuation) is reported as a protocol violation, not a nil-call crash.
+func TestFlatNilContinuation(t *testing.T) {
+	s := New(Config{N: 1, Seed: 1, Sched: SchedFlat})
+	_, err := s.RunProgram(func(nd *Node) Op { return Op{kind: opNext} })
+	if err == nil || !strings.Contains(err.Error(), "nil continuation") {
+		t.Fatalf("want a nil-continuation violation, got %v", err)
+	}
 }

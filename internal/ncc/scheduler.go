@@ -58,6 +58,11 @@ const (
 	// handoffs, so per-round wakeup cost is a handful of worker dispatches
 	// instead of N simultaneous goroutine wakeups.
 	SchedPool
+	// SchedFlat is the zero-goroutine columnar driver (flat.go): protocols
+	// run in resumable step form (program.go) and the whole simulation runs
+	// on the engine goroutine, storing only a continuation per node between
+	// rounds. Requires Sim.RunProgram; Sim.Run refuses flat sims.
+	SchedFlat
 )
 
 // String returns the stable driver name used in flags and wire formats.
@@ -67,6 +72,8 @@ func (k SchedKind) String() string {
 		return "barrier"
 	case SchedPool:
 		return "pool"
+	case SchedFlat:
+		return "flat"
 	default:
 		return fmt.Sprintf("SchedKind(%d)", int(k))
 	}
@@ -74,10 +81,14 @@ func (k SchedKind) String() string {
 
 // newScheduler constructs the configured driver.
 func newScheduler(kind SchedKind) Scheduler {
-	if kind == SchedPool {
+	switch kind {
+	case SchedPool:
 		return newPoolScheduler(0)
+	case SchedFlat:
+		return newFlatScheduler()
+	default:
+		return newBarrierScheduler()
 	}
-	return newBarrierScheduler()
 }
 
 // barrierScheduler is the goroutine-barrier implementation: one goroutine per

@@ -51,10 +51,11 @@ type Config struct {
 	// permutation of random IDs.
 	OrderedIDs bool
 	// Sched selects the concurrency driver: SchedBarrier (default, one
-	// runnable goroutine per released node) or SchedPool (run-to-completion
-	// worker pool). The driver never affects a run's outcome — both produce
-	// byte-identical traces for the same Config — only how node bodies are
-	// suspended and resumed.
+	// runnable goroutine per released node), SchedPool (run-to-completion
+	// worker pool), or SchedFlat (zero-goroutine stepper; requires
+	// Sim.RunProgram). The driver never affects a run's outcome — all
+	// produce byte-identical traces for the same Config — only how node
+	// bodies are suspended and resumed.
 	Sched SchedKind
 }
 
@@ -107,11 +108,12 @@ type Sim struct {
 	del   *delivery
 
 	// engine state (engine.go)
-	round    int
-	active   []*Node // nodes woken for the current round
-	awaiters map[int]*Node
-	sleepers sleepHeap
-	doneCnt  int
+	round       int
+	active      []*Node // nodes woken for the current round
+	nextScratch []*Node // reusable buffer for nextActive
+	awaiters    map[int]*Node
+	sleepers    sleepHeap
+	doneCnt     int
 
 	sendViol atomic.Int64
 
@@ -231,6 +233,10 @@ func (s *Sim) noteSendViolation(nd *Node) {
 // completion. It returns the Trace and the first error encountered (protocol
 // violation, deadlock, strict capacity violation, round limit, or panic).
 func (s *Sim) Run(proto func(*Node)) (*Trace, error) {
+	if _, flat := s.sched.(*flatScheduler); flat {
+		s.firstErr = errors.New("ncc: the flat driver cannot run blocking protocols; use Sim.RunProgram")
+		return s.buildTrace(), s.firstErr
+	}
 	panics := make(chan error, s.n)
 	s.active = append(s.active[:0], s.nodes...)
 	s.sched.Spawn(s.nodes, func(nd *Node) {

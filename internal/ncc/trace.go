@@ -60,7 +60,11 @@ func (t *Trace) MaxOutput(key string) (int64, bool) {
 // entry; self-loops are impossible by construction (Send forbids them and
 // AddEdge rejects them).
 func (t *Trace) EdgeSet() map[[2]ID]struct{} {
-	edges := make(map[[2]ID]struct{})
+	total := 0
+	for _, nr := range t.Nodes {
+		total += len(nr.Neighbors)
+	}
+	edges := make(map[[2]ID]struct{}, total)
 	for id, nr := range t.Nodes {
 		for _, p := range nr.Neighbors {
 			a, b := id, p
@@ -82,8 +86,12 @@ func (s *Sim) buildTrace() *Trace {
 		IDs:     s.ids,
 		Nodes:   make(map[ID]*NodeResult, s.n),
 	}
-	for _, nd := range s.nodes {
-		t.Nodes[nd.id] = &NodeResult{ID: nd.id, Neighbors: nd.neighbors, Outputs: nd.outputs}
+	// One backing array for all per-node results instead of n small heap
+	// objects: at large n the per-node allocations dominated buildTrace.
+	results := make([]NodeResult, s.n)
+	for i, nd := range s.nodes {
+		results[i] = NodeResult{ID: nd.id, Neighbors: nd.neighbors, Outputs: nd.outputs}
+		t.Nodes[nd.id] = &results[i]
 		if nd.unrealizable {
 			t.Unrealizable = true
 		}

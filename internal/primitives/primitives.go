@@ -10,6 +10,14 @@
 // rounds that is a deterministic function of n (via SyncAt barriers), so
 // primitives compose sequentially without extra coordination, and round
 // metrics are reproducible.
+//
+// Each primitive exists in two forms. The resumable step form (XxxStep) is
+// the implementation: it performs the current round's compute slice and
+// returns an ncc.Op whose continuation eventually invokes k with the result,
+// so the zero-goroutine flat driver can run it without a goroutine stack. The
+// blocking form is a thin adapter that drives the step form through
+// ncc.RunOps for callers on the goroutine drivers; both forms are therefore
+// observably identical by construction.
 package primitives
 
 import (
@@ -43,23 +51,32 @@ func (p Path) IsHead() bool { return p.Pred == ncc.None }
 // IsTail reports whether the node is the last node of the path.
 func (p Path) IsTail() bool { return p.Succ == ncc.None }
 
-// BuildPath converts the directed initial knowledge path Gk into an
+// BuildPathStep converts the directed initial knowledge path Gk into an
 // undirected ordered path in one round (§3.1): every node introduces itself
 // to its successor, so each node learns its predecessor.
 //
 // Rounds: exactly 1.
-func BuildPath(nd *ncc.Node) Path {
+func BuildPathStep(nd *ncc.Node, k func(Path) ncc.Op) ncc.Op {
 	succ := nd.InitialSucc()
 	if succ != ncc.None {
 		nd.Send(succ, ncc.Message{Kind: kHello})
 	}
 	p := Path{Pred: ncc.None, Succ: succ}
-	for _, m := range nd.NextRound() {
-		if m.Kind == kHello {
-			p.Pred = m.Src
+	return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+		for _, m := range w.Msgs {
+			if m.Kind == kHello {
+				p.Pred = m.Src
+			}
 		}
-	}
-	return p
+		return k(p)
+	})
+}
+
+// BuildPath is the blocking form of BuildPathStep.
+func BuildPath(nd *ncc.Node) Path {
+	var out Path
+	ncc.RunOps(nd, BuildPathStep(nd, func(p Path) ncc.Op { out = p; return ncc.Done() }))
+	return out
 }
 
 // Levels is the structure L of §3.1.1: Pred[r]/Succ[r] are the node's
@@ -73,35 +90,49 @@ type Levels struct {
 // Top returns the highest level index, ⌈log₂ n⌉.
 func (l Levels) Top() int { return len(l.Pred) - 1 }
 
-// BuildLevels constructs the structure L above an arbitrary undirected path
-// (usually the converted Gk, but any path with valid Pred/Succ links works,
-// which the sorting layer exploits on sub-paths). At each level every node
-// introduces its level-r predecessor to its level-r successor and vice
+// BuildLevelsStep constructs the structure L above an arbitrary undirected
+// path (usually the converted Gk, but any path with valid Pred/Succ links
+// works, which the sorting layer exploits on sub-paths). At each level every
+// node introduces its level-r predecessor to its level-r successor and vice
 // versa; the receivers adopt them as level-(r+1) links.
 //
 // Rounds: exactly ⌈log₂ n⌉ (one per level). Each node sends ≤ 2 messages
 // per round.
-func BuildLevels(nd *ncc.Node, p Path) Levels {
+func BuildLevelsStep(nd *ncc.Node, p Path, k func(Levels) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(nd.N())
 	l := Levels{Pred: make([]ncc.ID, K+1), Succ: make([]ncc.ID, K+1)}
 	l.Pred[0], l.Succ[0] = p.Pred, p.Succ
-	for r := 0; r < K; r++ {
+	var level func(r int) ncc.Op
+	level = func(r int) ncc.Op {
+		if r >= K {
+			return k(l)
+		}
 		if l.Succ[r] != ncc.None && l.Pred[r] != ncc.None {
 			// Teach my successor its grand-predecessor (= my predecessor).
 			nd.Send(l.Succ[r], ncc.Message{Kind: kGrandPred}.WithIDs(l.Pred[r]))
 			// Teach my predecessor its grand-successor (= my successor).
 			nd.Send(l.Pred[r], ncc.Message{Kind: kGrandSucc}.WithIDs(l.Succ[r]))
 		}
-		for _, m := range nd.NextRound() {
-			switch m.Kind {
-			case kGrandPred:
-				l.Pred[r+1] = m.IDs[0]
-			case kGrandSucc:
-				l.Succ[r+1] = m.IDs[0]
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				switch m.Kind {
+				case kGrandPred:
+					l.Pred[r+1] = m.IDs[0]
+				case kGrandSucc:
+					l.Succ[r+1] = m.IDs[0]
+				}
 			}
-		}
+			return level(r + 1)
+		})
 	}
-	return l
+	return level(0)
+}
+
+// BuildLevels is the blocking form of BuildLevelsStep.
+func BuildLevels(nd *ncc.Node, p Path) Levels {
+	var out Levels
+	ncc.RunOps(nd, BuildLevelsStep(nd, p, func(l Levels) ncc.Op { out = l; return ncc.Done() }))
+	return out
 }
 
 // Tree is a node's view of the balanced binary search tree TBFS produced by
@@ -119,7 +150,7 @@ type Tree struct {
 	Pos      int // inorder position, equal to the node's path position
 }
 
-// BuildTBFS runs the controlled BFS of Algorithm 1 over the structure L.
+// BuildTBFSStep runs the controlled BFS of Algorithm 1 over the structure L.
 // The path head (the unique node with no predecessor) is the root. For
 // levels i = top−1 down to 0, members of Sp invite their level-i predecessor
 // as left child and members of Ss invite their level-i successor as right
@@ -128,13 +159,22 @@ type Tree struct {
 // inorder traversal is the underlying path order (Theorem 1).
 //
 // Rounds: exactly 2·⌈log₂ n⌉ (an invite round and an accept round per level).
-func BuildTBFS(nd *ncc.Node, l Levels) Tree {
+func BuildTBFSStep(nd *ncc.Node, l Levels, k func(Tree) ncc.Op) ncc.Op {
 	t := Tree{Parent: ncc.None, Left: ncc.None, Right: ncc.None}
 	isRoot := l.Pred[0] == ncc.None
 	t.IsRoot = isRoot
 	inTree := isRoot
 	inSp, inSs := isRoot, isRoot
-	for i := l.Top() - 1; i >= 0; i-- {
+	var level func(i int) ncc.Op
+	level = func(i int) ncc.Op {
+		if i < 0 {
+			if !inTree {
+				// Theorem 1 guarantees spanning; reaching here means the level
+				// structure was corrupted by the caller.
+				panic(fmt.Sprintf("primitives: node %d not spanned by TBFS", nd.ID()))
+			}
+			return k(t)
+		}
 		// Invite round.
 		if inSp && l.Pred[i] != ncc.None {
 			nd.Send(l.Pred[i], ncc.Message{Kind: kInvite, A: 0, B: int64(t.Depth)})
@@ -144,47 +184,53 @@ func BuildTBFS(nd *ncc.Node, l Levels) Tree {
 			nd.Send(l.Succ[i], ncc.Message{Kind: kInvite, A: 1, B: int64(t.Depth)})
 			inSs = false
 		}
-		in := nd.NextRound()
-		// Accept round: join under the first inviter (the uniqueness argument
-		// of Theorem 1 shows competing invitations cannot occur).
-		if !inTree {
-			for _, m := range in {
-				if m.Kind != kInvite {
-					continue
-				}
-				inTree = true
-				t.Parent = m.Src
-				t.Depth = int(m.B) + 1
-				nd.Send(m.Src, ncc.Message{Kind: kAccept, A: m.A})
-				inSp, inSs = true, true
-				break
-			}
-		}
-		for _, m := range nd.NextRound() {
-			if m.Kind == kAccept {
-				if m.A == 0 {
-					t.Left = m.Src
-				} else {
-					t.Right = m.Src
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			// Accept round: join under the first inviter (the uniqueness
+			// argument of Theorem 1 shows competing invitations cannot occur).
+			if !inTree {
+				for _, m := range w.Msgs {
+					if m.Kind != kInvite {
+						continue
+					}
+					inTree = true
+					t.Parent = m.Src
+					t.Depth = int(m.B) + 1
+					nd.Send(m.Src, ncc.Message{Kind: kAccept, A: m.A})
+					inSp, inSs = true, true
+					break
 				}
 			}
-		}
+			return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+				for _, m := range w.Msgs {
+					if m.Kind == kAccept {
+						if m.A == 0 {
+							t.Left = m.Src
+						} else {
+							t.Right = m.Src
+						}
+					}
+				}
+				return level(i - 1)
+			})
+		})
 	}
-	if !inTree {
-		// Theorem 1 guarantees spanning; reaching here means the level
-		// structure was corrupted by the caller.
-		panic(fmt.Sprintf("primitives: node %d not spanned by TBFS", nd.ID()))
-	}
-	return t
+	return level(l.Top() - 1)
 }
 
-// AnnotateTree computes subtree sizes (convergecast) and inorder positions
-// (top-down) on a TBFS, giving every node its position in the underlying
-// path — Corollary 2. The root's inorder interval starts at 0, so Pos is
-// 0-based.
+// BuildTBFS is the blocking form of BuildTBFSStep.
+func BuildTBFS(nd *ncc.Node, l Levels) Tree {
+	var out Tree
+	ncc.RunOps(nd, BuildTBFSStep(nd, l, func(t Tree) ncc.Op { out = t; return ncc.Done() }))
+	return out
+}
+
+// AnnotateTreeStep computes subtree sizes (convergecast) and inorder
+// positions (top-down) on a TBFS, giving every node its position in the
+// underlying path — Corollary 2. The root's inorder interval starts at 0, so
+// Pos is 0-based.
 //
 // Rounds: exactly 2·(⌈log₂ n⌉ + 3) from the caller's current round.
-func AnnotateTree(nd *ncc.Node, t *Tree) {
+func AnnotateTreeStep(nd *ncc.Node, t *Tree, k func() ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(nd.N())
 	// Phase A: subtree sizes, leaves upward. A node at height h sends in
 	// round startA+h, so everything completes within K+2 rounds.
@@ -198,8 +244,53 @@ func AnnotateTree(nd *ncc.Node, t *Tree) {
 	}
 	t.Size = 1
 	t.LeftSize = 0
-	for got := 0; got < children; {
-		for _, m := range nd.AwaitMessage() {
+	got := 0
+
+	phaseB := func() ncc.Op {
+		startB := nd.Round()
+		lo := 0
+		assign := func() ncc.Op {
+			t.Pos = lo + t.LeftSize
+			if t.Left != ncc.None {
+				nd.Send(t.Left, ncc.Message{Kind: kInterval, A: int64(lo)})
+			}
+			if t.Right != ncc.None {
+				nd.Send(t.Right, ncc.Message{Kind: kInterval, A: int64(t.Pos + 1)})
+			}
+			return SyncAtStep(nd, startB+K+3, func([]ncc.Message) ncc.Op { return k() })
+		}
+		if t.IsRoot {
+			return assign()
+		}
+		var wait ncc.Cont
+		wait = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			waiting := true
+			for _, m := range w.Msgs {
+				if m.Kind == kInterval {
+					lo = int(m.A)
+					waiting = false
+				}
+			}
+			if waiting {
+				return ncc.Await(wait)
+			}
+			return assign()
+		}
+		return ncc.Await(wait)
+	}
+
+	afterSizes := func() ncc.Op {
+		if !t.IsRoot {
+			nd.Send(t.Parent, ncc.Message{Kind: kSize, A: int64(t.Size)})
+		}
+		return SyncAtStep(nd, startA+K+3, func([]ncc.Message) ncc.Op { return phaseB() })
+	}
+	if got >= children {
+		return afterSizes()
+	}
+	var sizes ncc.Cont
+	sizes = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+		for _, m := range w.Msgs {
 			if m.Kind != kSize {
 				continue
 			}
@@ -209,53 +300,61 @@ func AnnotateTree(nd *ncc.Node, t *Tree) {
 			}
 			got++
 		}
-	}
-	if !t.IsRoot {
-		nd.Send(t.Parent, ncc.Message{Kind: kSize, A: int64(t.Size)})
-	}
-	SyncAt(nd, startA+K+3)
-
-	// Phase B: inorder intervals, root downward.
-	startB := nd.Round()
-	lo := 0
-	if !t.IsRoot {
-		waiting := true
-		for waiting {
-			for _, m := range nd.AwaitMessage() {
-				if m.Kind == kInterval {
-					lo = int(m.A)
-					waiting = false
-				}
-			}
+		if got < children {
+			return ncc.Await(sizes)
 		}
+		return afterSizes()
 	}
-	t.Pos = lo + t.LeftSize
-	if t.Left != ncc.None {
-		nd.Send(t.Left, ncc.Message{Kind: kInterval, A: int64(lo)})
-	}
-	if t.Right != ncc.None {
-		nd.Send(t.Right, ncc.Message{Kind: kInterval, A: int64(t.Pos + 1)})
-	}
-	SyncAt(nd, startB+K+3)
+	return ncc.Await(sizes)
 }
 
-// BuildAll runs the full §3.1 pipeline — path conversion, structure L,
-// controlled BFS, and annotation — returning the node's complete structural
-// state. Rounds: O(log n), deterministic in n.
+// AnnotateTree is the blocking form of AnnotateTreeStep.
+func AnnotateTree(nd *ncc.Node, t *Tree) {
+	ncc.RunOps(nd, AnnotateTreeStep(nd, t, ncc.Done))
+}
+
+// BuildAllStep runs the full §3.1 pipeline — path conversion, structure L,
+// controlled BFS, and annotation — delivering the node's complete structural
+// state to k. Rounds: O(log n), deterministic in n.
+func BuildAllStep(nd *ncc.Node, k func(Path, Levels, Tree) ncc.Op) ncc.Op {
+	return BuildPathStep(nd, func(p Path) ncc.Op {
+		return BuildLevelsStep(nd, p, func(l Levels) ncc.Op {
+			return BuildTBFSStep(nd, l, func(t Tree) ncc.Op {
+				return AnnotateTreeStep(nd, &t, func() ncc.Op {
+					return k(p, l, t)
+				})
+			})
+		})
+	})
+}
+
+// BuildAll is the blocking form of BuildAllStep.
 func BuildAll(nd *ncc.Node) (Path, Levels, Tree) {
-	p := BuildPath(nd)
-	l := BuildLevels(nd, p)
-	t := BuildTBFS(nd, l)
-	AnnotateTree(nd, &t)
-	return p, l, t
+	var (
+		op Path
+		ol Levels
+		ot Tree
+	)
+	ncc.RunOps(nd, BuildAllStep(nd, func(p Path, l Levels, t Tree) ncc.Op {
+		op, ol, ot = p, l, t
+		return ncc.Done()
+	}))
+	return op, ol, ot
 }
 
-// SyncAt advances the node to the given round (no-op if already past it).
-// It returns any messages that were delivered while waiting; lockstep
-// protocols use it as a barrier between phases.
-func SyncAt(nd *ncc.Node, round int) []ncc.Message {
+// SyncAtStep advances the node to the given round (no-op if already past it),
+// delivering any messages that arrived while waiting to k; lockstep protocols
+// use it as a barrier between phases.
+func SyncAtStep(nd *ncc.Node, round int, k func([]ncc.Message) ncc.Op) ncc.Op {
 	if nd.Round() >= round {
-		return nil
+		return k(nil)
 	}
-	return nd.SkipRounds(round - nd.Round())
+	return ncc.Sleep(round-nd.Round(), func(nd *ncc.Node, w ncc.Wake) ncc.Op { return k(w.Msgs) })
+}
+
+// SyncAt is the blocking form of SyncAtStep.
+func SyncAt(nd *ncc.Node, round int) []ncc.Message {
+	var out []ncc.Message
+	ncc.RunOps(nd, SyncAtStep(nd, round, func(ms []ncc.Message) ncc.Op { out = ms; return ncc.Done() }))
+	return out
 }

@@ -43,13 +43,21 @@ type Overlay struct {
 	Lv   primitives.Levels
 }
 
-// Build constructs the overlay from sorted-path links by running the
+// BuildStep constructs the overlay from sorted-path links by running the
 // structure-L construction on the sorted path.
 //
 // Rounds: exactly ⌈log₂ n⌉.
+func BuildStep(nd *ncc.Node, rank int, pred, succ ncc.ID, k func(*Overlay) ncc.Op) ncc.Op {
+	return primitives.BuildLevelsStep(nd, primitives.Path{Pred: pred, Succ: succ}, func(lv primitives.Levels) ncc.Op {
+		return k(&Overlay{Rank: rank, N: nd.N(), Lv: lv})
+	})
+}
+
+// Build is the blocking form of BuildStep.
 func Build(nd *ncc.Node, rank int, pred, succ ncc.ID) *Overlay {
-	lv := primitives.BuildLevels(nd, primitives.Path{Pred: pred, Succ: succ})
-	return &Overlay{Rank: rank, N: nd.N(), Lv: lv}
+	var out *Overlay
+	ncc.RunOps(nd, BuildStep(nd, rank, pred, succ, func(ov *Overlay) ncc.Op { out = ov; return ncc.Done() }))
+	return out
 }
 
 // succAt returns the link to rank+2^j, or None.
@@ -76,17 +84,17 @@ type Job struct {
 	Lo, Hi  int
 }
 
-// Disseminate routes each initiator's Job to rank Lo (greedy doubling
+// DisseminateStep routes each initiator's Job to rank Lo (greedy doubling
 // descent) and then floods it across [Lo, Hi] by recursive halving. Multiple
 // jobs may run concurrently; the intervals the realization algorithms use
 // are disjoint, which keeps the halving phase congestion-free, and the
 // routing prologue's congestion is recorded by the simulator's metrics.
-// Non-initiators pass nil. Returns the jobs delivered to this node's rank.
+// Non-initiators pass nil. k receives the jobs delivered to this node's rank.
 //
 // Termination is adaptive: the caller's Gk tree is used to detect global
 // quiescence, so the protocol costs O(log n) rounds per quiescence epoch and
 // one aggregation per check.
-func Disseminate(nd *ncc.Node, ov *Overlay, gk *primitives.Tree, job *Job) []Job {
+func DisseminateStep(nd *ncc.Node, ov *Overlay, gk *primitives.Tree, job *Job, k func([]Job) ncc.Op) ncc.Op {
 	var queue []Job
 	var delivered []Job
 	if job != nil {
@@ -94,13 +102,27 @@ func Disseminate(nd *ncc.Node, ov *Overlay, gk *primitives.Tree, job *Job) []Job
 	}
 	K := ncc.CeilLog2(nd.N())
 	epoch := 2*K + 4
-	for {
-		for r := 0; r < epoch; r++ {
-			for _, j := range queue {
-				processPacket(nd, ov, j, &delivered)
+	var epochLoop func() ncc.Op
+	var roundLoop func(r int) ncc.Op
+	roundLoop = func(r int) ncc.Op {
+		if r >= epoch {
+			busy := int64(0)
+			if len(queue) > 0 {
+				busy = 1
 			}
-			queue = queue[:0]
-			for _, m := range nd.NextRound() {
+			return aggregate.AggregateBroadcastStep(nd, gk, busy, aggregate.OrOp(), func(v int64) ncc.Op {
+				if v == 0 {
+					return k(delivered)
+				}
+				return epochLoop()
+			})
+		}
+		for _, j := range queue {
+			processPacket(nd, ov, j, &delivered)
+		}
+		queue = queue[:0]
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
 				if m.Kind != kPacket {
 					continue
 				}
@@ -110,15 +132,18 @@ func Disseminate(nd *ncc.Node, ov *Overlay, gk *primitives.Tree, job *Job) []Job
 				}
 				queue = append(queue, j)
 			}
-		}
-		busy := int64(0)
-		if len(queue) > 0 {
-			busy = 1
-		}
-		if aggregate.AggregateBroadcast(nd, gk, busy, aggregate.OrOp()) == 0 {
-			return delivered
-		}
+			return roundLoop(r + 1)
+		})
 	}
+	epochLoop = func() ncc.Op { return roundLoop(0) }
+	return epochLoop()
+}
+
+// Disseminate is the blocking form of DisseminateStep.
+func Disseminate(nd *ncc.Node, ov *Overlay, gk *primitives.Tree, job *Job) []Job {
+	var out []Job
+	ncc.RunOps(nd, DisseminateStep(nd, ov, gk, job, func(js []Job) ncc.Op { out = js; return ncc.Done() }))
+	return out
 }
 
 // processPacket advances one job at this node: route toward Lo if we are
@@ -173,25 +198,39 @@ func bitLen(v int) int {
 	return n
 }
 
-// PrefixSum returns the inclusive prefix sum of value over ranks 0..Rank
+// PrefixSumStep delivers the inclusive prefix sum of value over ranks 0..Rank
 // via the Hillis–Steele doubling scan: in step j, every node passes its
 // accumulator to rank+2^j and folds in the accumulator from rank−2^j.
 //
 // Rounds: exactly ⌈log₂ n⌉; ≤ 1 send and 1 receive per node per round.
-func PrefixSum(nd *ncc.Node, ov *Overlay, value int64) int64 {
+func PrefixSumStep(nd *ncc.Node, ov *Overlay, value int64, k func(int64) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(ov.N)
 	acc := value
-	for j := 0; j < K; j++ {
+	var scan func(j int) ncc.Op
+	scan = func(j int) ncc.Op {
+		if j >= K {
+			return k(acc)
+		}
 		if dst := ov.succAt(j); dst != ncc.None {
 			nd.Send(dst, ncc.Message{Kind: kScan, A: acc})
 		}
-		for _, m := range nd.NextRound() {
-			if m.Kind == kScan {
-				acc += m.A
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				if m.Kind == kScan {
+					acc += m.A
+				}
 			}
-		}
+			return scan(j + 1)
+		})
 	}
-	return acc
+	return scan(0)
+}
+
+// PrefixSum is the blocking form of PrefixSumStep.
+func PrefixSum(nd *ncc.Node, ov *Overlay, value int64) int64 {
+	var out int64
+	ncc.RunOps(nd, PrefixSumStep(nd, ov, value, func(v int64) ncc.Op { out = v; return ncc.Done() }))
+	return out
 }
 
 // ShiftToken is the payload moved by ShiftDown/ShiftUp.
@@ -208,22 +247,39 @@ type ShiftToken struct {
 //
 // Rounds: exactly ⌈log₂ n⌉ (one per bit of dist, missing bits idle).
 func ShiftDown(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int) []ShiftToken {
-	return shift(nd, ov, tok, dist, false)
+	var out []ShiftToken
+	ncc.RunOps(nd, shiftStep(nd, ov, tok, dist, false, func(ts []ShiftToken) ncc.Op { out = ts; return ncc.Done() }))
+	return out
 }
 
 // ShiftUp moves every carrier's token from rank r to rank r+dist.
 func ShiftUp(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int) []ShiftToken {
-	return shift(nd, ov, tok, dist, true)
+	var out []ShiftToken
+	ncc.RunOps(nd, shiftStep(nd, ov, tok, dist, true, func(ts []ShiftToken) ncc.Op { out = ts; return ncc.Done() }))
+	return out
 }
 
-func shift(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int, up bool) []ShiftToken {
+// ShiftDownStep is the resumable form of ShiftDown.
+func ShiftDownStep(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int, k func([]ShiftToken) ncc.Op) ncc.Op {
+	return shiftStep(nd, ov, tok, dist, false, k)
+}
+
+// ShiftUpStep is the resumable form of ShiftUp.
+func ShiftUpStep(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int, k func([]ShiftToken) ncc.Op) ncc.Op {
+	return shiftStep(nd, ov, tok, dist, true, k)
+}
+
+func shiftStep(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int, up bool, k func([]ShiftToken) ncc.Op) ncc.Op {
 	K := ncc.CeilLog2(ov.N)
 	var carrying []ShiftToken
 	if tok != nil {
 		carrying = append(carrying, *tok)
 	}
-	var arrived []ShiftToken
-	for b := 0; b < K; b++ {
+	var bit func(b int) ncc.Op
+	bit = func(b int) ncc.Op {
+		if b >= K {
+			return k(append([]ShiftToken(nil), carrying...))
+		}
 		if dist&(1<<b) != 0 {
 			var dst ncc.ID
 			if up {
@@ -243,19 +299,21 @@ func shift(nd *ncc.Node, ov *Overlay, tok *ShiftToken, dist int, up bool) []Shif
 			}
 			carrying = carrying[:0]
 		}
-		for _, m := range nd.NextRound() {
-			if m.Kind != kShift {
-				continue
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				if m.Kind != kShift {
+					continue
+				}
+				tk := ShiftToken{A: m.A, B: m.B}
+				if len(m.IDs) > 0 {
+					tk.ID = m.IDs[0]
+				}
+				carrying = append(carrying, tk)
 			}
-			tk := ShiftToken{A: m.A, B: m.B}
-			if len(m.IDs) > 0 {
-				tk.ID = m.IDs[0]
-			}
-			carrying = append(carrying, tk)
-		}
+			return bit(b + 1)
+		})
 	}
-	arrived = append(arrived, carrying...)
-	return arrived
+	return bit(0)
 }
 
 // SortedNeighbors is a convenience for tests: given per-rank values it

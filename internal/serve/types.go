@@ -28,7 +28,7 @@ type OptionsJSON struct {
 	Sort string `json:"sort,omitempty"`
 	// MaxRounds aborts runaway protocols.
 	MaxRounds int `json:"max_rounds,omitempty"`
-	// Scheduler is "barrier" or "pool"; empty selects the server's default
+	// Scheduler is "barrier", "pool" or "flat"; empty selects the server's default
 	// driver (grserved -scheduler). The choice never affects the result.
 	Scheduler string `json:"scheduler,omitempty"`
 }
@@ -70,7 +70,7 @@ func (o *OptionsJSON) toOptions(defSched graphrealize.Scheduler) (*graphrealize.
 	} else {
 		sched, err := graphrealize.ParseScheduler(o.Scheduler)
 		if err != nil {
-			return nil, fmt.Errorf("unknown scheduler %q (want barrier or pool)", o.Scheduler)
+			return nil, fmt.Errorf("unknown scheduler %q (want barrier, pool or flat)", o.Scheduler)
 		}
 		out.Scheduler = sched
 	}

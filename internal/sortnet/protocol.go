@@ -104,15 +104,15 @@ func (ms *mergeState) levelBudget() int {
 	return ms.recDepth()*(ms.stepBudget()+ms.ascBudget()) + (2*ms.K + 12) + 3
 }
 
-// mergeSort runs the full protocol and returns the node's rank and sorted
-// neighbors. It needs the Sorter's TBFS tree; see Sorter.Tree.
-func (s *Sorter) mergeSort(nd *ncc.Node, key int64) Result {
+// mergeSortStep runs the full protocol and delivers the node's rank and
+// sorted neighbors to k. It needs the Sorter's TBFS tree; see Sorter.Tree.
+func (s *Sorter) mergeSortStep(nd *ncc.Node, key int64, k func(Result) ncc.Op) ncc.Op {
 	if s.Tree == nil {
 		panic("sortnet: Merge method requires Sorter.Tree (the annotated TBFS)")
 	}
 	n := nd.N()
 	if n == 1 {
-		return Result{Rank: 0, Pred: ncc.None, Succ: ncc.None}
+		return k(Result{Rank: 0, Pred: ncc.None, Succ: ncc.None})
 	}
 	ms := &mergeState{
 		nd:   nd,
@@ -128,7 +128,12 @@ func (s *Sorter) mergeSort(nd *ncc.Node, key int64) Result {
 	// Heads reported by our TBFS children, per level.
 	childHead := map[ncc.ID]ncc.ID{}
 
-	for lvl := maxDepth; lvl >= 0; lvl-- {
+	var level func(lvl int) ncc.Op
+	level = func(lvl int) ncc.Op {
+		if lvl < 0 {
+			// Final ranking over the global sorted path.
+			return ms.finalRanks(k)
+		}
 		start := nd.Round()
 		if ms.gk.Depth == lvl {
 			// We coordinate this level: our instance is (left child's path,
@@ -151,36 +156,51 @@ func (s *Sorter) mergeSort(nd *ncc.Node, key int64) Result {
 				ms.resH, ms.resT = nd.ID(), nd.ID()
 			}
 		}
-		// Descent: fixed number of synchronized recursion steps.
-		for step := 0; step < ms.recDepth(); step++ {
-			ms.recursionStep(step)
+		// After descent + ascent + self-insertion: report the merged path's
+		// head to the TBFS parent, then recurse to the next level.
+		report := func() ncc.Op {
+			return primitives.SyncAtStep(nd, start+ms.levelBudget()-2, func(in []ncc.Message) ncc.Op {
+				ms.apply(in, func(m ncc.Message) {
+					panic(fmt.Sprintf("sortnet: unexpected kind 0x%x before report", m.Kind))
+				})
+				if ms.out {
+					panic(fmt.Sprintf("sortnet: node %d still cut out at level end", nd.ID()))
+				}
+				if ms.gk.Depth == lvl && !ms.gk.IsRoot {
+					nd.Send(ms.gk.Parent, ncc.Message{Kind: kMReport}.WithIDs(ms.resH))
+				}
+				return primitives.SyncAtStep(nd, start+ms.levelBudget(), func(in []ncc.Message) ncc.Op {
+					ms.apply(in, func(m ncc.Message) {
+						if m.Kind == kMReport {
+							childHead[m.Src] = m.IDs[0]
+							return
+						}
+						panic(fmt.Sprintf("sortnet: unexpected kind 0x%x at report", m.Kind))
+					})
+					return level(lvl - 1)
+				})
+			})
 		}
 		// Ascent: splice pending medians back, deepest first.
-		for step := ms.recDepth() - 1; step >= 0; step-- {
-			ms.ascentStep(step)
-		}
-		// Self-insertion by this level's coordinators.
-		ms.insertSelf(lvl)
-		// Report the merged path's head to the TBFS parent.
-		ms.apply(primitives.SyncAt(nd, start+ms.levelBudget()-2), func(m ncc.Message) {
-			panic(fmt.Sprintf("sortnet: unexpected kind 0x%x before report", m.Kind))
-		})
-		if ms.out {
-			panic(fmt.Sprintf("sortnet: node %d still cut out at level end", nd.ID()))
-		}
-		if ms.gk.Depth == lvl && !ms.gk.IsRoot {
-			nd.Send(ms.gk.Parent, ncc.Message{Kind: kMReport}.WithIDs(ms.resH))
-		}
-		ms.apply(primitives.SyncAt(nd, start+ms.levelBudget()), func(m ncc.Message) {
-			if m.Kind == kMReport {
-				childHead[m.Src] = m.IDs[0]
-				return
+		var ascend func(step int) ncc.Op
+		ascend = func(step int) ncc.Op {
+			if step < 0 {
+				// Self-insertion by this level's coordinators.
+				return ms.insertSelf(lvl, report)
 			}
-			panic(fmt.Sprintf("sortnet: unexpected kind 0x%x at report", m.Kind))
-		})
+			return ms.ascentStep(step, func() ncc.Op { return ascend(step - 1) })
+		}
+		// Descent: fixed number of synchronized recursion steps.
+		var descend func(step int) ncc.Op
+		descend = func(step int) ncc.Op {
+			if step >= ms.recDepth() {
+				return ascend(ms.recDepth() - 1)
+			}
+			return ms.recursionStep(step, func() ncc.Op { return descend(step + 1) })
+		}
+		return descend(0)
 	}
-	// Final ranking over the global sorted path.
-	return ms.finalRanks()
+	return level(maxDepth)
 }
 
 // spliceKinds applies splices found in any inbox (used inside sub-phases

@@ -25,11 +25,21 @@ const (
 	flagEnd
 )
 
-// window advances to the deadline, dispatching non-splice messages to h.
-func (ms *mergeState) window(deadline int, h func(m ncc.Message)) {
-	for ms.nd.Round() < deadline {
-		ms.apply(ms.nd.NextRound(), h)
+// window advances to the deadline, dispatching non-splice messages to h,
+// then continues with k. Resumable: each round is one suspension.
+func (ms *mergeState) window(deadline int, h func(m ncc.Message), k func() ncc.Op) ncc.Op {
+	var loop ncc.Cont
+	loop = func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+		ms.apply(w.Msgs, h)
+		if ms.nd.Round() < deadline {
+			return ncc.Next(loop)
+		}
+		return k()
 	}
+	if ms.nd.Round() < deadline {
+		return ncc.Next(loop)
+	}
+	return k()
 }
 
 // maxJump returns the largest level with a valid succ link, or -1.
@@ -43,8 +53,8 @@ func (ms *mergeState) maxJump(limit int) int {
 }
 
 // buildLinks refreshes the value-annotated doubling links along the node's
-// current path. Rounds: exactly K+2 from base.
-func (ms *mergeState) buildLinks(base int) {
+// current path, then continues with k. Rounds: exactly K+2 from base.
+func (ms *mergeState) buildLinks(base int, k func() ncc.Op) ncc.Op {
 	nd := ms.nd
 	K := ms.K
 	ms.predAt = make([]pair, K+1)
@@ -58,33 +68,40 @@ func (ms *mergeState) buildLinks(base int) {
 			nd.Send(ms.succ, ncc.Message{Kind: kMKeyP, A: ms.me.key, B: 0})
 		}
 	}
-	for r := 0; r <= K; r++ {
-		ms.apply(nd.NextRound(), func(m ncc.Message) {
-			lvl := int(m.B)
-			switch m.Kind {
-			case kMKeyP:
-				id := m.Src
-				if len(m.IDs) > 0 {
-					id = m.IDs[0]
-				}
-				ms.predAt[lvl] = pair{m.A, id}
-			case kMKeyS:
-				id := m.Src
-				if len(m.IDs) > 0 {
-					id = m.IDs[0]
-				}
-				ms.succAt[lvl] = pair{m.A, id}
-			default:
-				panic(fmt.Sprintf("sortnet: unexpected 0x%x in buildLinks", m.Kind))
-			}
-		})
-		// Propagate level r to level r+1.
-		if r < K && !ms.out && ms.predAt[r].valid() && ms.succAt[r].valid() {
-			nd.Send(ms.succAt[r].id, ncc.Message{Kind: kMKeyP, A: ms.predAt[r].key, B: int64(r + 1)}.WithIDs(ms.predAt[r].id))
-			nd.Send(ms.predAt[r].id, ncc.Message{Kind: kMKeyS, A: ms.succAt[r].key, B: int64(r + 1)}.WithIDs(ms.succAt[r].id))
+	var round func(r int) ncc.Op
+	round = func(r int) ncc.Op {
+		if r > K {
+			return primitives.SyncAtStep(nd, base+K+2, func([]ncc.Message) ncc.Op { return k() })
 		}
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			ms.apply(w.Msgs, func(m ncc.Message) {
+				lvl := int(m.B)
+				switch m.Kind {
+				case kMKeyP:
+					id := m.Src
+					if len(m.IDs) > 0 {
+						id = m.IDs[0]
+					}
+					ms.predAt[lvl] = pair{m.A, id}
+				case kMKeyS:
+					id := m.Src
+					if len(m.IDs) > 0 {
+						id = m.IDs[0]
+					}
+					ms.succAt[lvl] = pair{m.A, id}
+				default:
+					panic(fmt.Sprintf("sortnet: unexpected 0x%x in buildLinks", m.Kind))
+				}
+			})
+			// Propagate level r to level r+1.
+			if r < K && !ms.out && ms.predAt[r].valid() && ms.succAt[r].valid() {
+				nd.Send(ms.succAt[r].id, ncc.Message{Kind: kMKeyP, A: ms.predAt[r].key, B: int64(r + 1)}.WithIDs(ms.predAt[r].id))
+				nd.Send(ms.predAt[r].id, ncc.Message{Kind: kMKeyS, A: ms.succAt[r].key, B: int64(r + 1)}.WithIDs(ms.succAt[r].id))
+			}
+			return round(r + 1)
+		})
 	}
-	primitives.SyncAt(nd, base+K+2)
+	return round(0)
 }
 
 // active reports whether this node currently coordinates an unfinished

@@ -136,34 +136,102 @@ func ChargedRounds(n int) int {
 	return c
 }
 
-// Sort arranges the nodes by non-increasing key using the Sorter's method
-// and returns this node's rank and sorted neighbors. All nodes must call
-// Sort at the same protocol point.
-func (s *Sorter) Sort(nd *ncc.Node, key int64) Result {
+// SortStep arranges the nodes by non-increasing key using the Sorter's
+// method and delivers this node's rank and sorted neighbors to k. All nodes
+// must enter the sort at the same protocol point. This is the resumable form
+// the flat driver runs; Sort is its blocking adapter.
+func (s *Sorter) SortStep(nd *ncc.Node, key int64, k func(Result) ncc.Op) ncc.Op {
 	switch s.Method {
 	case OddEven:
-		return s.oddEvenSort(nd, key)
+		return s.oddEvenSortStep(nd, key, k)
 	case Merge:
-		return s.mergeSort(nd, key)
+		return s.mergeSortStep(nd, key, k)
 	default:
-		out := nd.Collective(CollectiveOracleSort, key)
-		return out.(Result)
+		return ncc.Collective(CollectiveOracleSort, key, func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			return k(w.Coll.(Result))
+		})
 	}
 }
 
-// oddEvenSort is a real protocol: (key, id) pairs ripple along the Gk path
-// via n rounds of alternating compare-exchanges; afterwards the holder of
-// path position p owns the rank-p pair, learns its neighbors' pairs, and
+// Sort is the blocking form of SortStep.
+func (s *Sorter) Sort(nd *ncc.Node, key int64) Result {
+	var out Result
+	ncc.RunOps(nd, s.SortStep(nd, key, func(r Result) ncc.Op { out = r; return ncc.Done() }))
+	return out
+}
+
+// oddEvenSortStep is a real protocol: (key, id) pairs ripple along the Gk
+// path via n rounds of alternating compare-exchanges; afterwards the holder
+// of path position p owns the rank-p pair, learns its neighbors' pairs, and
 // notifies the pair's owner of its rank and sorted neighbors.
 //
 // Rounds: exactly n + 3. Each node sends ≤ 2 messages per round.
-func (s *Sorter) oddEvenSort(nd *ncc.Node, key int64) Result {
+func (s *Sorter) oddEvenSortStep(nd *ncc.Node, key int64, k func(Result) ncc.Op) ncc.Op {
 	n := nd.N()
 	curKey, curID := key, nd.ID()
+
+	assign := func() ncc.Op {
+		// Neighbor exchange: tell path neighbors which pair we hold.
+		if s.Path.Pred != ncc.None {
+			nd.Send(s.Path.Pred, ncc.Message{Kind: kNeighbor, A: 1}.WithIDs(curID))
+		}
+		if s.Path.Succ != ncc.None {
+			nd.Send(s.Path.Succ, ncc.Message{Kind: kNeighbor, A: 0}.WithIDs(curID))
+		}
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			predPair, succPair := ncc.None, ncc.None
+			for _, m := range w.Msgs {
+				if m.Kind != kNeighbor {
+					continue
+				}
+				if m.A == 0 { // sent towards successors: sender precedes us
+					predPair = m.IDs[0]
+				} else {
+					succPair = m.IDs[0]
+				}
+			}
+			// Assignment: the holder notifies the pair's owner of rank/links.
+			msg := ncc.Message{Kind: kAssign, A: int64(s.Pos)}
+			ids := make([]ncc.ID, 0, 2)
+			ids = append(ids, predPair, succPair) // None encodes a path end
+			msg.IDs = ids
+			if curID == nd.ID() {
+				// We hold our own pair; no message needed.
+				return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+					return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+						return k(Result{Rank: s.Pos, Pred: predPair, Succ: succPair})
+					})
+				})
+			}
+			nd.Send(curID, msg)
+			res := Result{Rank: -1, Pred: ncc.None, Succ: ncc.None}
+			return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+				for _, m := range w.Msgs {
+					if m.Kind == kAssign {
+						res = Result{Rank: int(m.A), Pred: m.IDs[0], Succ: m.IDs[1]}
+					}
+				}
+				return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+					if res.Rank == -1 {
+						// Our assignment arrives exactly one round after the
+						// holders send; a second round is allowed for skew,
+						// after which silence is a bug.
+						panic(fmt.Sprintf("sortnet: node %d received no rank assignment", nd.ID()))
+					}
+					return k(res)
+				})
+			})
+		})
+	}
+
 	// Compare-exchange phase. In even rounds positions (0,1),(2,3),…
 	// exchange; in odd rounds (1,2),(3,4),…. The left partner keeps the
 	// larger pair (descending order).
-	for r := 0; r < n; r++ {
+	var round func(r int) ncc.Op
+	round = func(r int) ncc.Op {
+		if r >= n {
+			return assign()
+		}
 		var partner ncc.ID
 		left := false // we are the left end of our compare pair
 		if s.Pos%2 == r%2 {
@@ -174,59 +242,20 @@ func (s *Sorter) oddEvenSort(nd *ncc.Node, key int64) Result {
 		if partner != ncc.None {
 			nd.Send(partner, ncc.Message{Kind: kExchange, A: curKey}.WithIDs(curID))
 		}
-		for _, m := range nd.NextRound() {
-			if m.Kind != kExchange || m.Src != partner {
-				continue
+		return ncc.Next(func(nd *ncc.Node, w ncc.Wake) ncc.Op {
+			for _, m := range w.Msgs {
+				if m.Kind != kExchange || m.Src != partner {
+					continue
+				}
+				oKey, oID := m.A, m.IDs[0]
+				oLarger := oKey > curKey || (oKey == curKey && oID < curID)
+				if left == oLarger {
+					// Left keeps the larger pair; right keeps the smaller.
+					curKey, curID = oKey, oID
+				}
 			}
-			oKey, oID := m.A, m.IDs[0]
-			oLarger := oKey > curKey || (oKey == curKey && oID < curID)
-			if left == oLarger {
-				// Left keeps the larger pair; right keeps the smaller.
-				curKey, curID = oKey, oID
-			}
-		}
+			return round(r + 1)
+		})
 	}
-	// Neighbor exchange: tell path neighbors which pair we hold.
-	if s.Path.Pred != ncc.None {
-		nd.Send(s.Path.Pred, ncc.Message{Kind: kNeighbor, A: 1}.WithIDs(curID))
-	}
-	if s.Path.Succ != ncc.None {
-		nd.Send(s.Path.Succ, ncc.Message{Kind: kNeighbor, A: 0}.WithIDs(curID))
-	}
-	predPair, succPair := ncc.None, ncc.None
-	for _, m := range nd.NextRound() {
-		if m.Kind != kNeighbor {
-			continue
-		}
-		if m.A == 0 { // sent towards successors: sender precedes us
-			predPair = m.IDs[0]
-		} else {
-			succPair = m.IDs[0]
-		}
-	}
-	// Assignment: the holder notifies the pair's owner of rank and links.
-	msg := ncc.Message{Kind: kAssign, A: int64(s.Pos)}
-	ids := make([]ncc.ID, 0, 2)
-	ids = append(ids, predPair, succPair) // None encodes a path end
-	msg.IDs = ids
-	if curID == nd.ID() {
-		// We hold our own pair; no message needed.
-		nd.NextRound()
-		nd.NextRound()
-		return Result{Rank: s.Pos, Pred: predPair, Succ: succPair}
-	}
-	nd.Send(curID, msg)
-	res := Result{Rank: -1, Pred: ncc.None, Succ: ncc.None}
-	for _, m := range nd.NextRound() {
-		if m.Kind == kAssign {
-			res = Result{Rank: int(m.A), Pred: m.IDs[0], Succ: m.IDs[1]}
-		}
-	}
-	nd.NextRound()
-	if res.Rank == -1 {
-		// Our assignment arrives exactly one round after the holders send;
-		// a second round is allowed for skew, after which silence is a bug.
-		panic(fmt.Sprintf("sortnet: node %d received no rank assignment", nd.ID()))
-	}
-	return res
+	return round(0)
 }

@@ -18,6 +18,7 @@ import (
 	"graphrealize/internal/core"
 	"graphrealize/internal/ncc"
 	"graphrealize/internal/rankov"
+	"graphrealize/internal/sortnet"
 )
 
 // Outcome reports a node's view of the tree realization.
@@ -34,27 +35,29 @@ type Outcome struct {
 	Neighbors []ncc.ID
 }
 
-// validate checks tree realizability by aggregation: Σd = 2(n−1) and d ≥ 1
-// everywhere (n = 1 requires d = 0). Rounds: two aggregations.
-func validate(nd *ncc.Node, env *core.Env, deg int) bool {
+// validateStep checks tree realizability by aggregation: Σd = 2(n−1) and
+// d ≥ 1 everywhere (n = 1 requires d = 0). Rounds: two aggregations.
+func validateStep(nd *ncc.Node, env *core.Env, deg int, k func(bool) ncc.Op) ncc.Op {
 	n := nd.N()
-	sum := aggregate.AggregateBroadcast(nd, &env.GK, int64(deg), aggregate.SumOp())
-	bad := int64(0)
-	if n == 1 {
-		if deg != 0 {
+	return aggregate.AggregateBroadcastStep(nd, &env.GK, int64(deg), aggregate.SumOp(), func(sum int64) ncc.Op {
+		bad := int64(0)
+		if n == 1 {
+			if deg != 0 {
+				bad = 1
+			}
+		} else if deg < 1 || deg > n-1 {
 			bad = 1
 		}
-	} else if deg < 1 || deg > n-1 {
-		bad = 1
-	}
-	anyBad := aggregate.AggregateBroadcast(nd, &env.GK, bad, aggregate.OrOp())
-	if anyBad == 1 {
-		return false
-	}
-	if n == 1 {
-		return sum == 0
-	}
-	return sum == int64(2*(n-1))
+		return aggregate.AggregateBroadcastStep(nd, &env.GK, bad, aggregate.OrOp(), func(anyBad int64) ncc.Op {
+			if anyBad == 1 {
+				return k(false)
+			}
+			if n == 1 {
+				return k(sum == 0)
+			}
+			return k(sum == int64(2*(n-1)))
+		})
+	})
 }
 
 // store records an edge at this node.
@@ -68,71 +71,90 @@ func (o *Outcome) store(nd *ncc.Node, peer ncc.ID) {
 // The realization is implicit except for the chain edges, which both
 // endpoints store (as the paper's line 9 specifies).
 func RealizeChain(nd *ncc.Node, env *core.Env, deg int) Outcome {
-	out := Outcome{}
-	if !validate(nd, env, deg) {
-		nd.Unrealizable()
-		return out
-	}
-	out.OK = true
-	n := nd.N()
-	if n == 1 {
-		return out
-	}
-	sr := env.Sort.Sort(nd, int64(deg))
-	ov := rankov.Build(nd, sr.Rank, sr.Pred, sr.Succ)
-	// k = number of non-leaves.
-	isNonLeaf := int64(0)
-	if deg > 1 {
-		isNonLeaf = 1
-	}
-	k := int(aggregate.AggregateBroadcast(nd, &env.GK, isNonLeaf, aggregate.SumOp()))
-	out.IsLeaf = deg == 1
-
-	if k == 0 {
-		// All degrees are 1: the only valid case is n = 2, a single edge.
-		// k is common knowledge, so every node takes this branch together
-		// and lockstep is preserved without the scan/dissemination stages.
-		if sr.Rank == 0 {
-			out.store(nd, sr.Succ)
-		} else {
-			out.store(nd, sr.Pred)
-		}
-		return out
-	}
-
-	// Chain the non-leaves: both endpoints store (explicit chain edges).
-	if sr.Rank > 0 && sr.Rank <= k-1 {
-		out.store(nd, sr.Pred)
-	}
-	if sr.Rank < k-1 {
-		out.store(nd, sr.Succ)
-	}
-	// Remaining leaf demand r per non-leaf.
-	r := 0
-	if sr.Rank < k {
-		switch {
-		case k == 1:
-			r = deg
-		case sr.Rank == 0 || sr.Rank == k-1:
-			r = deg - 1
-		default:
-			r = deg - 2
-		}
-	}
-	// Leaf block start: k + (exclusive prefix of r over ranks).
-	inc := rankov.PrefixSum(nd, ov, int64(r))
-	start := k + int(inc) - r
-	var job *rankov.Job
-	if r > 0 {
-		job = &rankov.Job{Payload: nd.ID(), Lo: start, Hi: start + r - 1}
-	}
-	for _, g := range rankov.Disseminate(nd, ov, &env.GK, job) {
-		out.store(nd, g.Payload)
-	}
-	// A chain node's leaves store their edges; account for them here so
-	// Realized equals the input degree at every node.
-	out.Realized += r
+	var out Outcome
+	ncc.RunOps(nd, RealizeChainStep(nd, env, deg, func(o Outcome) ncc.Op { out = o; return ncc.Done() }))
 	return out
+}
+
+// RealizeChainStep is the resumable form of RealizeChain.
+func RealizeChainStep(nd *ncc.Node, env *core.Env, deg int, kont func(Outcome) ncc.Op) ncc.Op {
+	out := Outcome{}
+	return validateStep(nd, env, deg, func(valid bool) ncc.Op {
+		if !valid {
+			nd.Unrealizable()
+			return kont(out)
+		}
+		out.OK = true
+		n := nd.N()
+		if n == 1 {
+			return kont(out)
+		}
+		return env.Sort.SortStep(nd, int64(deg), func(sr sortnet.Result) ncc.Op {
+			return rankov.BuildStep(nd, sr.Rank, sr.Pred, sr.Succ, func(ov *rankov.Overlay) ncc.Op {
+				// k = number of non-leaves.
+				isNonLeaf := int64(0)
+				if deg > 1 {
+					isNonLeaf = 1
+				}
+				return aggregate.AggregateBroadcastStep(nd, &env.GK, isNonLeaf, aggregate.SumOp(), func(k64 int64) ncc.Op {
+					k := int(k64)
+					out.IsLeaf = deg == 1
+
+					if k == 0 {
+						// All degrees are 1: the only valid case is n = 2, a
+						// single edge. k is common knowledge, so every node
+						// takes this branch together and lockstep is preserved
+						// without the scan/dissemination stages.
+						if sr.Rank == 0 {
+							out.store(nd, sr.Succ)
+						} else {
+							out.store(nd, sr.Pred)
+						}
+						return kont(out)
+					}
+
+					// Chain the non-leaves: both endpoints store (explicit
+					// chain edges).
+					if sr.Rank > 0 && sr.Rank <= k-1 {
+						out.store(nd, sr.Pred)
+					}
+					if sr.Rank < k-1 {
+						out.store(nd, sr.Succ)
+					}
+					// Remaining leaf demand r per non-leaf.
+					r := 0
+					if sr.Rank < k {
+						switch {
+						case k == 1:
+							r = deg
+						case sr.Rank == 0 || sr.Rank == k-1:
+							r = deg - 1
+						default:
+							r = deg - 2
+						}
+					}
+					// Leaf block start: k + (exclusive prefix of r over ranks).
+					return rankov.PrefixSumStep(nd, ov, int64(r), func(inc int64) ncc.Op {
+						start := k + int(inc) - r
+						var job *rankov.Job
+						if r > 0 {
+							job = &rankov.Job{Payload: nd.ID(), Lo: start, Hi: start + r - 1}
+						}
+						return rankov.DisseminateStep(nd, ov, &env.GK, job, func(got []rankov.Job) ncc.Op {
+							for _, g := range got {
+								out.store(nd, g.Payload)
+							}
+							// A chain node's leaves store their edges; account
+							// for them here so Realized equals the input degree
+							// at every node.
+							out.Realized += r
+							return kont(out)
+						})
+					})
+				})
+			})
+		})
+	})
 }
 
 // RealizeGreedy runs Algorithm 5, producing the minimum-diameter greedy
@@ -140,36 +162,50 @@ func RealizeChain(nd *ncc.Node, env *core.Env, deg int) Outcome {
 // rank i adopts d_i − 1 children from the next unparented block, located via
 // a prefix-sum scan. Children store the edge to their parent (implicit).
 func RealizeGreedy(nd *ncc.Node, env *core.Env, deg int) Outcome {
-	out := Outcome{}
-	if !validate(nd, env, deg) {
-		nd.Unrealizable()
-		return out
-	}
-	out.OK = true
-	n := nd.N()
-	if n == 1 {
-		return out
-	}
-	sr := env.Sort.Sort(nd, int64(deg))
-	ov := rankov.Build(nd, sr.Rank, sr.Pred, sr.Succ)
-	out.IsLeaf = deg == 1
-	// Children count: the root keeps all deg slots, others reserve one for
-	// their parent.
-	c := deg - 1
-	if sr.Rank == 0 {
-		c = deg
-	}
-	inc := rankov.PrefixSum(nd, ov, int64(c))
-	start := 1 + int(inc) - c
-	var job *rankov.Job
-	if c > 0 {
-		job = &rankov.Job{Payload: nd.ID(), Lo: start, Hi: start + c - 1}
-	}
-	got := rankov.Disseminate(nd, ov, &env.GK, job)
-	for _, g := range got {
-		out.store(nd, g.Payload) // child stores its parent
-	}
-	// The parent's own degree accounting: its c children store the edges.
-	out.Realized += c
+	var out Outcome
+	ncc.RunOps(nd, RealizeGreedyStep(nd, env, deg, func(o Outcome) ncc.Op { out = o; return ncc.Done() }))
 	return out
+}
+
+// RealizeGreedyStep is the resumable form of RealizeGreedy.
+func RealizeGreedyStep(nd *ncc.Node, env *core.Env, deg int, kont func(Outcome) ncc.Op) ncc.Op {
+	out := Outcome{}
+	return validateStep(nd, env, deg, func(valid bool) ncc.Op {
+		if !valid {
+			nd.Unrealizable()
+			return kont(out)
+		}
+		out.OK = true
+		n := nd.N()
+		if n == 1 {
+			return kont(out)
+		}
+		return env.Sort.SortStep(nd, int64(deg), func(sr sortnet.Result) ncc.Op {
+			return rankov.BuildStep(nd, sr.Rank, sr.Pred, sr.Succ, func(ov *rankov.Overlay) ncc.Op {
+				out.IsLeaf = deg == 1
+				// Children count: the root keeps all deg slots, others reserve
+				// one for their parent.
+				c := deg - 1
+				if sr.Rank == 0 {
+					c = deg
+				}
+				return rankov.PrefixSumStep(nd, ov, int64(c), func(inc int64) ncc.Op {
+					start := 1 + int(inc) - c
+					var job *rankov.Job
+					if c > 0 {
+						job = &rankov.Job{Payload: nd.ID(), Lo: start, Hi: start + c - 1}
+					}
+					return rankov.DisseminateStep(nd, ov, &env.GK, job, func(got []rankov.Job) ncc.Op {
+						for _, g := range got {
+							out.store(nd, g.Payload) // child stores its parent
+						}
+						// The parent's own degree accounting: its c children
+						// store the edges.
+						out.Realized += c
+						return kont(out)
+					})
+				})
+			})
+		})
+	})
 }

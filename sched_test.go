@@ -25,8 +25,8 @@ func conformanceJobs() []Job {
 	}
 }
 
-// TestSchedulerFacadeConformance runs every job kind under both drivers and
-// requires identical graphs, stats, envelopes, and errors.
+// TestSchedulerFacadeConformance runs every job kind under all three drivers
+// and requires identical graphs, stats, envelopes, and errors.
 func TestSchedulerFacadeConformance(t *testing.T) {
 	for _, base := range conformanceJobs() {
 		barrier := base
@@ -34,28 +34,30 @@ func TestSchedulerFacadeConformance(t *testing.T) {
 		bOpt.Scheduler = BarrierScheduler
 		barrier.Opt = &bOpt
 
-		pool := base
-		pOpt := *base.Opt
-		pOpt.Scheduler = PoolScheduler
-		pool.Opt = &pOpt
-
 		rb := Execute(t.Context(), barrier)
-		rp := Execute(t.Context(), pool)
 		label := base.Kind.String()
-		if (rb.Err == nil) != (rp.Err == nil) || (rb.Err != nil && rb.Err.Error() != rp.Err.Error()) {
-			t.Fatalf("%s: errors differ: barrier=%v pool=%v", label, rb.Err, rp.Err)
-		}
-		if rb.Err != nil {
-			continue
-		}
-		if !reflect.DeepEqual(rb.Stats, rp.Stats) {
-			t.Fatalf("%s: stats differ:\nbarrier %+v\npool    %+v", label, rb.Stats, rp.Stats)
-		}
-		if !reflect.DeepEqual(rb.Graph.Edges(), rp.Graph.Edges()) {
-			t.Fatalf("%s: edge lists differ", label)
-		}
-		if !reflect.DeepEqual(rb.Envelope, rp.Envelope) {
-			t.Fatalf("%s: envelopes differ", label)
+		for _, sched := range []Scheduler{PoolScheduler, FlatScheduler} {
+			other := base
+			oOpt := *base.Opt
+			oOpt.Scheduler = sched
+			other.Opt = &oOpt
+
+			ro := Execute(t.Context(), other)
+			if (rb.Err == nil) != (ro.Err == nil) || (rb.Err != nil && rb.Err.Error() != ro.Err.Error()) {
+				t.Fatalf("%s: errors differ: barrier=%v %s=%v", label, rb.Err, sched, ro.Err)
+			}
+			if rb.Err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(rb.Stats, ro.Stats) {
+				t.Fatalf("%s: stats differ:\nbarrier %+v\n%s %+v", label, rb.Stats, sched, ro.Stats)
+			}
+			if !reflect.DeepEqual(rb.Graph.Edges(), ro.Graph.Edges()) {
+				t.Fatalf("%s vs %s: edge lists differ", label, sched)
+			}
+			if !reflect.DeepEqual(rb.Envelope, ro.Envelope) {
+				t.Fatalf("%s vs %s: envelopes differ", label, sched)
+			}
 		}
 	}
 }
@@ -81,5 +83,11 @@ func TestSchedulerIsPartOfCacheKey(t *testing.T) {
 	}
 	if res := <-r.Submit(barrier); !res.Cached {
 		t.Fatal("barrier entry must still be cached separately")
+	}
+	flat := Job{Kind: JobDegrees, Seq: []int{2, 2, 2}, Opt: &Options{Seed: 4, Scheduler: FlatScheduler}}
+	if res := <-r.Submit(flat); res.Err != nil {
+		t.Fatalf("flat run: %v", res.Err)
+	} else if res.Cached {
+		t.Fatal("flat submission must not be served from another driver's cache entry")
 	}
 }
