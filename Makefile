@@ -29,7 +29,10 @@ REQS        ?= 500
 MIX         ?= degree,tree,connectivity
 BASE        ?= main
 SCHEDULER   ?= barrier
-BENCH_ARGS  := -short -run '^$$' -bench . -benchtime 3x -count 5 .
+BENCH_ARGS  := -short -run '^$$' -bench . -benchtime 3x -count 5 . ./internal/wire
+# The merge base may predate internal/wire; benchgate only compares
+# benchmarks present on both sides, so the base run probes for the package.
+BENCH_ARGS_BASE := -short -run '^$$' -bench . -benchtime 3x -count 5 . $$([ -d internal/wire ] && echo ./internal/wire)
 
 .PHONY: build test race bench bench-sched bench-record sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
 
@@ -99,13 +102,13 @@ bench-compare:
 	$(GO) test $(BENCH_ARGS) > /tmp/graphrealize-bench-head.txt
 	cat /tmp/graphrealize-bench-head.txt
 	git worktree add --force /tmp/graphrealize-bench-base $(BASE)
-	(cd /tmp/graphrealize-bench-base && $(GO) test $(BENCH_ARGS)) > /tmp/graphrealize-bench-base.txt; \
+	(cd /tmp/graphrealize-bench-base && $(GO) test $(BENCH_ARGS_BASE)) > /tmp/graphrealize-bench-base.txt; \
 		status=$$?; git worktree remove --force /tmp/graphrealize-bench-base; \
 		exit $$status
 	cat /tmp/graphrealize-bench-base.txt
 	$(GO) run ./cmd/benchgate -base /tmp/graphrealize-bench-base.txt \
 		-head /tmp/graphrealize-bench-head.txt \
-		-threshold 30 -match BenchmarkBatchRealization -json bench.json
+		-threshold 30 -match 'BenchmarkBatchRealization|BenchmarkWire' -json bench.json
 
 clean:
 	$(GO) clean ./...

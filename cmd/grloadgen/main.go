@@ -41,6 +41,7 @@ import (
 	"graphrealize"
 	"graphrealize/internal/gen"
 	"graphrealize/internal/jobs"
+	"graphrealize/internal/wire"
 )
 
 type scenario struct {
@@ -153,6 +154,7 @@ func scenarios(variantEvery int, scheduler string) map[string]scenario {
 type sample struct {
 	scenario string
 	latency  time.Duration
+	bytes    int64 // response body size (bytes on the wire)
 	err      string
 }
 
@@ -165,6 +167,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "first per-request seed")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request client timeout")
 	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
+	wireFmt := flag.Bool("wire", false, "negotiate application/x-graphwire responses on the sync endpoints (async flows stay JSON); streams are decoded and validated")
 	async := flag.Bool("async", false, "drive every other request through the async job API (submit/poll/stream/cancel)")
 	scheduler := flag.String("scheduler", "", "simulator driver to request: barrier, pool or flat (empty = server default)")
 	flag.Parse()
@@ -248,20 +251,7 @@ func main() {
 					results[w] = append(results[w], sample{scenario: sc.name, err: err.Error()})
 					continue
 				}
-				t0 := time.Now()
-				resp, err := client.Post(base+sc.path, "application/json", bytes.NewReader(payload))
-				lat := time.Since(t0)
-				s := sample{scenario: sc.name, latency: lat}
-				if err != nil {
-					s.err = err.Error()
-				} else {
-					msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-					resp.Body.Close()
-					if resp.StatusCode != http.StatusOK {
-						s.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-					}
-				}
-				results[w] = append(results[w], s)
+				results[w] = append(results[w], runSync(client, base, sc, payload, *wireFmt))
 			}
 		}(w)
 	}
@@ -290,6 +280,60 @@ func main() {
 	}
 }
 
+// runSync issues one synchronous request and measures latency plus bytes
+// on the wire. With -wire the request negotiates application/x-graphwire
+// and the response stream is fully decoded — a truncated or corrupt stream
+// is a request failure, so the tool end-to-end-checks the binary path the
+// same way it checks JSON statuses.
+func runSync(client *http.Client, base string, sc scenario, payload []byte, wireFmt bool) sample {
+	req, err := http.NewRequest(http.MethodPost, base+sc.path, bytes.NewReader(payload))
+	if err != nil {
+		return sample{scenario: sc.name, err: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if wireFmt {
+		req.Header.Set("Accept", wire.MediaType)
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{scenario: sc.name, latency: time.Since(t0), err: err.Error()}
+	}
+	defer resp.Body.Close()
+	s := sample{scenario: sc.name}
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		s.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	case wireFmt && resp.Header.Get("Content-Type") == wire.MediaType:
+		counted := &countingReader{r: resp.Body}
+		if _, err := wire.Decode(counted); err != nil {
+			s.err = fmt.Sprintf("graphwire stream: %v", err)
+		}
+		s.bytes = counted.n
+	default:
+		if wireFmt {
+			s.err = fmt.Sprintf("server ignored Accept: got Content-Type %q", resp.Header.Get("Content-Type"))
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		s.bytes = n
+	}
+	s.latency = time.Since(t0)
+	return s
+}
+
+// countingReader counts the bytes a decoder actually consumes.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // report prints the per-scenario and total latency/throughput table.
 func report(out io.Writer, samples []sample, wall time.Duration) {
 	byScenario := map[string][]sample{}
@@ -303,10 +347,11 @@ func report(out io.Writer, samples []sample, wall time.Duration) {
 	sort.Strings(order)
 
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\treqs\terrs\tmean\tp50\tp90\tp99\tmax")
+	fmt.Fprintln(tw, "scenario\treqs\terrs\tmean\tp50\tp90\tp99\tmax\tresp-B")
 	row := func(name string, ss []sample) {
 		var lats []time.Duration
 		var sum time.Duration
+		var totalBytes, counted int64
 		errs := 0
 		for _, s := range ss {
 			if s.err != "" {
@@ -315,25 +360,37 @@ func report(out io.Writer, samples []sample, wall time.Duration) {
 			}
 			lats = append(lats, s.latency)
 			sum += s.latency
+			if s.bytes > 0 {
+				totalBytes += s.bytes
+				counted++
+			}
 		}
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		if len(lats) == 0 {
-			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\t-\t-\n", name, len(ss), errs)
+			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\t-\t-\t-\n", name, len(ss), errs)
 			return
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+		respB := "-"
+		if counted > 0 {
+			respB = fmt.Sprintf("%d", totalBytes/counted)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			name, len(ss), errs,
 			fmtMS(sum/time.Duration(len(lats))),
 			fmtMS(pct(lats, 50)), fmtMS(pct(lats, 90)), fmtMS(pct(lats, 99)),
-			fmtMS(lats[len(lats)-1]))
+			fmtMS(lats[len(lats)-1]), respB)
 	}
 	for _, name := range order {
 		row(name, byScenario[name])
 	}
 	row("TOTAL", samples)
 	tw.Flush()
-	fmt.Fprintf(out, "wall %.2fs, throughput %.1f req/s\n",
-		wall.Seconds(), float64(len(samples))/wall.Seconds())
+	var totalBytes int64
+	for _, s := range samples {
+		totalBytes += s.bytes
+	}
+	fmt.Fprintf(out, "wall %.2fs, throughput %.1f req/s, %d bytes on the wire\n",
+		wall.Seconds(), float64(len(samples))/wall.Seconds(), totalBytes)
 }
 
 // fetchStats surfaces the server-side Runner counters after the run.

@@ -18,6 +18,9 @@
 // shadowed to disk: completed jobs survive a crash with their results, and
 // jobs that were queued or running at crash time are re-queued on Open with
 // their recorded seeds, so the recovered runs realize bit-identical graphs.
+// Result graphs rest in the graphwire binary encoding (internal/wire,
+// WIRE.md §10); legacy stores whose records carry JSON edge lists are still
+// read and are rewritten in the wire form by the first compaction.
 package jobs
 
 import (
@@ -324,7 +327,19 @@ func (m *Manager) reloadTerminal(pj *PersistedJob) {
 	if pj.Error != "" {
 		rec.err = errors.New(pj.Error)
 	}
-	if res := pj.Result.result(job); res != nil {
+	res, err := pj.Result.result(job)
+	if err != nil {
+		// The record survived its WAL/snapshot checksum but its embedded
+		// graph is unreadable (possible only through out-of-band damage).
+		// Keep the job visible rather than silently dropping it, but as a
+		// failure that names the loss — never as a done job with a wrong
+		// graph.
+		m.logPersist(err)
+		rec.state = StateFailed
+		rec.err = err
+		res = nil
+	}
+	if res != nil {
 		rec.result = res
 		rec.ran.Store(true)
 		rec.round.Store(int64(res.Stats.Rounds))

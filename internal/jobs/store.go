@@ -1,11 +1,14 @@
 package jobs
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/wire"
 )
 
 // store.go is the durability contract of the job subsystem: a Store receives
@@ -64,11 +67,20 @@ func (p *PersistedOptions) options() *graphrealize.Options {
 }
 
 // PersistedResult is a done job's realization in durable form: the graph as
-// a (u < v) edge list plus the run statistics. Stats is stored by value —
+// a graphwire stream plus the run statistics. Stats is stored by value —
 // it is plain integers.
 type PersistedResult struct {
-	N        int                `json:"n"`
-	Edges    [][2]int           `json:"edges"`
+	N int `json:"n"`
+	// GraphWire is a complete single-graph graphwire stream — header,
+	// META + ADJ chunks, END (WIRE.md §10) — base64-coded by JSON. It is the
+	// written form for every new record; its per-chunk CRCs make at-rest
+	// byte comparison and corruption detection cheap.
+	GraphWire []byte `json:"graph_wire,omitempty"`
+	// Edges is the JSON-era (u < v) edge list. It is never written anymore,
+	// only read: the version sniff on recovery is simply which of the two
+	// graph fields a record carries, GraphWire preferred (WIRE.md §8), so
+	// data directories from before the wire format recover unchanged.
+	Edges    [][2]int           `json:"edges,omitempty"`
 	Envelope []int              `json:"envelope,omitempty"`
 	Stats    graphrealize.Stats `json:"stats"`
 	Cached   bool               `json:"cached,omitempty"`
@@ -80,31 +92,54 @@ func persistedResult(res *graphrealize.Result) *PersistedResult {
 	}
 	out := &PersistedResult{
 		N:        res.Graph.N,
-		Edges:    res.Graph.Edges(),
 		Envelope: res.Envelope,
 		Cached:   res.Cached,
 	}
 	if res.Stats != nil {
 		out.Stats = *res.Stats
 	}
+	if b, err := wire.EncodeGraph(res.Graph.N, res.Graph.Adj); err == nil {
+		out.GraphWire = b
+	} else {
+		// A canonical Graph always encodes; if one ever does not, keep the
+		// result durable in the legacy form rather than lose it.
+		out.Edges = res.Graph.Edges()
+	}
 	return out
 }
 
-// result rebuilds the shared Result a recovered done-job serves.
-func (p *PersistedResult) result(j graphrealize.Job) *graphrealize.Result {
+// result rebuilds the shared Result a recovered done-job serves, from
+// whichever graph form the record carries (wire-era GraphWire, or the
+// JSON-era Edges list).
+func (p *PersistedResult) result(j graphrealize.Job) (*graphrealize.Result, error) {
 	if p == nil {
-		return nil
+		return nil, nil
 	}
-	g := &graphrealize.Graph{N: p.N, Adj: make([][]int, p.N)}
-	for _, e := range p.Edges {
-		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
-		g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
-	}
-	for _, a := range g.Adj {
-		sort.Ints(a)
+	var g *graphrealize.Graph
+	if len(p.GraphWire) > 0 {
+		msg, err := wire.Decode(bytes.NewReader(p.GraphWire))
+		if err != nil {
+			return nil, fmt.Errorf("jobs: persisted graph_wire: %w", err)
+		}
+		if !msg.HasGraph || msg.N != p.N {
+			return nil, fmt.Errorf("jobs: persisted graph_wire carries n=%d (HasGraph=%v), record says n=%d", msg.N, msg.HasGraph, p.N)
+		}
+		g = &graphrealize.Graph{N: msg.N, Adj: msg.Adj}
+	} else {
+		g = &graphrealize.Graph{N: p.N, Adj: make([][]int, p.N)}
+		for _, e := range p.Edges {
+			if e[0] < 0 || e[0] >= p.N || e[1] < 0 || e[1] >= p.N {
+				return nil, fmt.Errorf("jobs: persisted edge %v out of range [0,%d)", e, p.N)
+			}
+			g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+			g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
+		}
+		for _, a := range g.Adj {
+			sort.Ints(a)
+		}
 	}
 	st := p.Stats
-	return &graphrealize.Result{Job: j, Graph: g, Envelope: p.Envelope, Stats: &st, Cached: p.Cached}
+	return &graphrealize.Result{Job: j, Graph: g, Envelope: p.Envelope, Stats: &st, Cached: p.Cached}, nil
 }
 
 // PersistedJob is one job's full durable state: enough to serve a terminal

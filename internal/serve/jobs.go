@@ -66,6 +66,17 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	case "1", "true":
 		omitEdges = true
 	}
+	if wantsWire(r) {
+		// The JMETA document is the usual job body minus the edge list; a
+		// done job's graph travels as the graph section instead. Jobs that
+		// are not done (or asked to omit edges) stream metadata alone.
+		var g *graphrealize.Graph
+		if !omitEdges && snap.Result != nil && snap.Result.Graph != nil {
+			g = snap.Result.Graph
+		}
+		writeWire(w, jobJSON(snap, true, true), g)
+		return
+	}
 	writeJSON(w, http.StatusOK, jobJSON(snap, true, omitEdges))
 }
 

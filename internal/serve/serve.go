@@ -27,6 +27,12 @@
 // request was never admitted) with a Retry-After hint derived from live
 // queue depth and mean job latency, job timeouts 504, and a client that
 // disconnected mid-job 499.
+//
+// Responses are JSON by default. The realization, sweep, and job-result
+// routes additionally negotiate the compact graphwire binary encoding
+// (internal/wire, specified in WIRE.md) when a request lists
+// application/x-graphwire in Accept — see wire.go; errors stay JSON in
+// every case.
 package serve
 
 import (
@@ -353,6 +359,16 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 		Cached:    res.Cached,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
+	// Everything that can fail has failed by here (the flush-audit
+	// contract): both encodings below start from a committed 200.
+	if wantsWire(r) {
+		var g *graphrealize.Graph
+		if !req.OmitEdges {
+			g = res.Graph
+		}
+		writeWire(w, resp, g)
+		return
+	}
 	if !req.OmitEdges {
 		resp.Edges = res.Graph.Edges()
 	}
@@ -438,6 +454,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	resp.RoundsMedian = rounds[len(rounds)/2]
 	resp.RoundsMax = rounds[len(rounds)-1]
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	if wantsWire(r) {
+		// Sweep rows carry no edge lists, so the stream is JMETA + END.
+		writeWire(w, resp, nil)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

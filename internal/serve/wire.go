@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"graphrealize"
+	"graphrealize/internal/wire"
+)
+
+// wire.go is the content-negotiation seam (WIRE.md §10, DESIGN.md §9):
+// when a request's Accept header asks for application/x-graphwire, the
+// realization and job-result routes stream the graphwire binary encoding
+// instead of JSON. JSON stays the default — absence, */*, and any other
+// media range all keep the historical body — and errors are always JSON,
+// because every error is mapped to its status before the first response
+// byte is written.
+
+// wantsWire reports whether the request explicitly negotiates the
+// graphwire response encoding: application/x-graphwire listed in Accept.
+// Wildcards do not opt in — a generic client must keep getting JSON.
+func wantsWire(r *http.Request) bool {
+	for _, header := range r.Header.Values("Accept") {
+		for part := range strings.SplitSeq(header, ",") {
+			mt := strings.TrimSpace(part)
+			if i := strings.IndexByte(mt, ';'); i >= 0 {
+				mt = strings.TrimSpace(mt[:i])
+			}
+			if strings.EqualFold(mt, wire.MediaType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeWire streams one graphwire response: doc (the JSON body the route
+// would otherwise send, minus any edge list) as the JMETA chunk, then g's
+// graph section when g is non-nil, then END (WIRE.md §3).
+//
+// Contract with the flush-audit fix: every error→status decision has
+// already happened by the time this runs — the only pre-commit failure
+// left is marshaling doc, which is checked before the header is written,
+// so a client never sees a 200 followed by a JSON error or vice versa.
+// A mid-stream write failure simply truncates the stream, which the
+// framing makes detectable (WIRE.md §5.3): no status rewrite is possible
+// or attempted after the first chunk.
+func writeWire(w http.ResponseWriter, doc any, g *graphrealize.Graph) {
+	meta, err := json.Marshal(doc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response metadata: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", wire.MediaType)
+	w.WriteHeader(http.StatusOK)
+
+	enc := wire.NewEncoder(w)
+	if canFlush(w) {
+		// Push each framed chunk to the client as it is cut, so first-byte
+		// latency is decoupled from graph size.
+		rc := http.NewResponseController(w)
+		enc.Flush = func() error { return rc.Flush() }
+	}
+	if err := enc.WriteJSONMeta(meta); err != nil {
+		return
+	}
+	if g != nil {
+		if err := enc.WriteGraph(g.N, g.Adj); err != nil {
+			return // truncated stream: the missing END chunk reports it
+		}
+	}
+	_ = enc.Close()
+}
