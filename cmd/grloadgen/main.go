@@ -10,9 +10,16 @@
 //	grloadgen -c 64 -requests 500 -mix degree,tree,connectivity
 //	grloadgen -mix degree:3,sweep:1 -n 96 -edges
 //	grloadgen -async -requests 200                         # exercise /v1/jobs
+//	grloadgen -trace-ids                                   # verify X-Request-Id round-trips
 //
 // Mix entries are scenario[:weight] with scenarios degree, tree,
-// connectivity, and sweep. With -async, every other request is driven
+// connectivity, and sweep. With -trace-ids, every request carries a
+// deterministic X-Request-Id and the tool asserts the server echoes it back
+// (and, for async jobs, persists it into the job document) — turning the
+// load run into an end-to-end check of the tracing path. The latency table's
+// p50/p95/p99 columns are estimated from the same fixed-bucket histogram
+// type the server exports on /metrics, so client-side and server-side
+// quantiles are directly comparable. With -async, every other request is driven
 // through the asynchronous job API instead of the blocking endpoints —
 // rotating across submit→poll, submit→SSE-stream, and submit→cancel flows —
 // and reported as separate scenario+async rows, so end-to-end job latency
@@ -41,6 +48,7 @@ import (
 	"graphrealize"
 	"graphrealize/internal/gen"
 	"graphrealize/internal/jobs"
+	"graphrealize/internal/obs"
 	"graphrealize/internal/wire"
 )
 
@@ -169,6 +177,7 @@ func main() {
 	edges := flag.Bool("edges", false, "request edge lists in responses (heavier payloads)")
 	wireFmt := flag.Bool("wire", false, "negotiate application/x-graphwire responses on the sync endpoints (async flows stay JSON); streams are decoded and validated")
 	async := flag.Bool("async", false, "drive every other request through the async job API (submit/poll/stream/cancel)")
+	traceIDs := flag.Bool("trace-ids", false, "send a deterministic X-Request-Id per request and verify the server echoes it")
 	scheduler := flag.String("scheduler", "", "simulator driver to request: barrier, pool or flat (empty = server default)")
 	flag.Parse()
 
@@ -238,8 +247,12 @@ func main() {
 				// when len(slots) == len(sizes).
 				cycle := i / int64(len(slots))
 				nn := sizes[cycle%int64(len(sizes))]
+				traceID := ""
+				if *traceIDs {
+					traceID = fmt.Sprintf("grloadgen-%06d", i)
+				}
 				if *async && sc.job != nil && cycle%2 == 1 {
-					results[w] = append(results[w], runAsync(client, base, sc, nn, *seed+i, cycle, *timeout, *edges))
+					results[w] = append(results[w], runAsync(client, base, sc, nn, *seed+i, cycle, *timeout, *edges, traceID))
 					continue
 				}
 				body := sc.body(nn, *seed+i)
@@ -251,7 +264,7 @@ func main() {
 					results[w] = append(results[w], sample{scenario: sc.name, err: err.Error()})
 					continue
 				}
-				results[w] = append(results[w], runSync(client, base, sc, payload, *wireFmt))
+				results[w] = append(results[w], runSync(client, base, sc, payload, *wireFmt, traceID))
 			}
 		}(w)
 	}
@@ -284,13 +297,17 @@ func main() {
 // on the wire. With -wire the request negotiates application/x-graphwire
 // and the response stream is fully decoded — a truncated or corrupt stream
 // is a request failure, so the tool end-to-end-checks the binary path the
-// same way it checks JSON statuses.
-func runSync(client *http.Client, base string, sc scenario, payload []byte, wireFmt bool) sample {
+// same way it checks JSON statuses. A non-empty traceID is sent as
+// X-Request-Id and must come back verbatim.
+func runSync(client *http.Client, base string, sc scenario, payload []byte, wireFmt bool, traceID string) sample {
 	req, err := http.NewRequest(http.MethodPost, base+sc.path, bytes.NewReader(payload))
 	if err != nil {
 		return sample{scenario: sc.name, err: err.Error()}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.HeaderRequestID, traceID)
+	}
 	if wireFmt {
 		req.Header.Set("Accept", wire.MediaType)
 	}
@@ -302,6 +319,9 @@ func runSync(client *http.Client, base string, sc scenario, payload []byte, wire
 	defer resp.Body.Close()
 	s := sample{scenario: sc.name}
 	switch {
+	case traceID != "" && resp.Header.Get(obs.HeaderRequestID) != traceID:
+		io.Copy(io.Discard, resp.Body)
+		s.err = fmt.Sprintf("trace ID not echoed: sent %q, got %q", traceID, resp.Header.Get(obs.HeaderRequestID))
 	case resp.StatusCode != http.StatusOK:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		s.err = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
@@ -347,26 +367,30 @@ func report(out io.Writer, samples []sample, wall time.Duration) {
 	sort.Strings(order)
 
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "scenario\treqs\terrs\tmean\tp50\tp90\tp99\tmax\tresp-B")
+	fmt.Fprintln(tw, "scenario\treqs\terrs\tmean\tp50\tp95\tp99\tmax\tresp-B")
 	row := func(name string, ss []sample) {
-		var lats []time.Duration
-		var sum time.Duration
+		// Quantiles come from the same fixed-bucket histogram the server
+		// exports on /metrics, so a table row is directly comparable to a
+		// histogram_quantile over graphrealize_http_request_seconds.
+		hist := obs.NewHistogram(obs.DefaultLatencyBuckets)
+		var sum, maxLat time.Duration
 		var totalBytes, counted int64
-		errs := 0
+		ok, errs := 0, 0
 		for _, s := range ss {
 			if s.err != "" {
 				errs++
 				continue
 			}
-			lats = append(lats, s.latency)
+			ok++
+			hist.ObserveDuration(s.latency)
 			sum += s.latency
+			maxLat = max(maxLat, s.latency)
 			if s.bytes > 0 {
 				totalBytes += s.bytes
 				counted++
 			}
 		}
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		if len(lats) == 0 {
+		if ok == 0 {
 			fmt.Fprintf(tw, "%s\t%d\t%d\t-\t-\t-\t-\t-\t-\n", name, len(ss), errs)
 			return
 		}
@@ -374,11 +398,15 @@ func report(out io.Writer, samples []sample, wall time.Duration) {
 		if counted > 0 {
 			respB = fmt.Sprintf("%d", totalBytes/counted)
 		}
+		snap := hist.Snapshot()
+		q := func(p float64) time.Duration {
+			return time.Duration(snap.Quantile(p) * float64(time.Second))
+		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
 			name, len(ss), errs,
-			fmtMS(sum/time.Duration(len(lats))),
-			fmtMS(pct(lats, 50)), fmtMS(pct(lats, 90)), fmtMS(pct(lats, 99)),
-			fmtMS(lats[len(lats)-1]), respB)
+			fmtMS(sum/time.Duration(ok)),
+			fmtMS(q(0.50)), fmtMS(q(0.95)), fmtMS(q(0.99)),
+			fmtMS(maxLat), respB)
 	}
 	for _, name := range order {
 		row(name, byScenario[name])
@@ -415,10 +443,11 @@ func fetchStats(client *http.Client, base string) {
 
 // jobView is the slice of the job JSON the async flows need.
 type jobView struct {
-	ID    string `json:"id"`
-	State string `json:"state"`
-	Round int    `json:"round"`
-	Error string `json:"error"`
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Round   int    `json:"round"`
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id"`
 }
 
 // terminalState resolves a wire state against the jobs package's own
@@ -434,15 +463,25 @@ func terminalState(s string) bool {
 // flow rotates deterministically over the (odd, async) mix cycles: half
 // submit→poll, 3/8 submit→stream SSE progress (asserting monotone rounds),
 // and 1/8 submit→cancel (accepting "canceled", or "done" if the job won the
-// race). Like the sync path, result payloads omit edge lists unless -edges.
-func runAsync(client *http.Client, base string, sc scenario, n int, seed, cycle int64, timeout time.Duration, edges bool) sample {
+// race). Like the sync path, result payloads omit edge lists unless -edges;
+// a non-empty traceID must be echoed in the 202 header and persisted into
+// the job document itself.
+func runAsync(client *http.Client, base string, sc scenario, n int, seed, cycle int64, timeout time.Duration, edges bool, traceID string) sample {
 	name := sc.name + "+async"
 	payload, err := json.Marshal(sc.job(n, seed))
 	if err != nil {
 		return sample{scenario: name, err: err.Error()}
 	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(payload))
+	if err != nil {
+		return sample{scenario: name, err: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(obs.HeaderRequestID, traceID)
+	}
 	t0 := time.Now()
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	resp, err := client.Do(req)
 	if err != nil {
 		return sample{scenario: name, err: err.Error()}
 	}
@@ -452,9 +491,17 @@ func runAsync(client *http.Client, base string, sc scenario, n int, seed, cycle 
 		return sample{scenario: name, latency: time.Since(t0),
 			err: fmt.Sprintf("submit HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))}
 	}
+	if traceID != "" && resp.Header.Get(obs.HeaderRequestID) != traceID {
+		return sample{scenario: name, latency: time.Since(t0),
+			err: fmt.Sprintf("trace ID not echoed: sent %q, got %q", traceID, resp.Header.Get(obs.HeaderRequestID))}
+	}
 	var job jobView
 	if err := json.Unmarshal(msg, &job); err != nil || job.ID == "" {
 		return sample{scenario: name, latency: time.Since(t0), err: fmt.Sprintf("bad submit body %q", msg)}
+	}
+	if traceID != "" && job.TraceID != traceID {
+		return sample{scenario: name, latency: time.Since(t0),
+			err: fmt.Sprintf("job %s lost its trace ID: sent %q, job carries %q", job.ID, traceID, job.TraceID)}
 	}
 
 	deadline := time.Now().Add(timeout)
@@ -594,18 +641,6 @@ func cancelFlow(client *http.Client, base, id string, deadline time.Time, edges 
 		return jobView{}, fmt.Errorf("cancel HTTP %d", resp.StatusCode)
 	}
 	return pollFlow(client, base, id, deadline, edges)
-}
-
-// pct returns the p-th percentile of an ascending latency slice.
-func pct(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := (len(sorted)*p + 99) / 100
-	if idx > 0 {
-		idx--
-	}
-	return sorted[idx]
 }
 
 func fmtMS(d time.Duration) string {

@@ -29,7 +29,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +58,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durable async job state (empty = in-memory only)")
 	scheduler := flag.String("scheduler", "barrier", "default simulator driver for requests that don't pick one: barrier, pool or flat")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	pprofAddr := flag.String("pprof-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
@@ -102,7 +105,32 @@ func main() {
 		DefaultScheduler: defSched,
 	}
 	if !*quiet {
-		cfg.Logf = logger.Printf
+		// One structured JSON record per request on stderr: trace_id, route,
+		// method, path, status, elapsed_ms. Pipe-friendly (jq) and greppable
+		// by the trace IDs echoed in X-Request-Id.
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
+	// pprof gets its own listener so profiling endpoints are never exposed on
+	// the service address; bind it to loopback in production.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pm,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof listening on %s", *pprofAddr)
 	}
 
 	srv := &http.Server{

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"graphrealize/internal/connectivity"
 	"graphrealize/internal/core"
@@ -135,6 +136,13 @@ type Options struct {
 	// affect the result and is excluded from Runner cache keys: a job served
 	// from the cache completes without any progress callbacks.
 	Progress func(round, msgs int)
+	// Profile, when non-nil, receives every completed round's wall-time split
+	// into compute, delivery, and barrier phases — the observability hook the
+	// server uses to feed per-driver phase histograms. Like Progress it runs
+	// on the simulation's driver goroutine, must be fast, never affects the
+	// result (timings stay out of Stats and traces), and is excluded from
+	// Runner cache keys: a job served from the cache reports no phases.
+	Profile func(compute, delivery, barrier time.Duration)
 	// Scheduler selects the simulator's concurrency driver. The choice never
 	// affects the result — only execution speed and memory behaviour.
 	Scheduler Scheduler
@@ -285,6 +293,7 @@ func (o Options) simConfig(ctx context.Context, n int, inputs []any) ncc.Config 
 		Inputs:    inputs,
 		Stop:      ctx.Done(),
 		Progress:  o.Progress,
+		Profile:   o.Profile,
 		Sched:     sched,
 	}
 }

@@ -15,6 +15,7 @@ import "sync"
 // the job's terminal state.
 type Event struct {
 	JobID    string
+	TraceID  string // request-correlation ID, "" when the submitter sent none
 	State    State
 	Round    int
 	Messages int
@@ -26,6 +27,7 @@ type Event struct {
 func eventOf(snap Snapshot) Event {
 	ev := Event{
 		JobID:    snap.ID,
+		TraceID:  snap.TraceID,
 		State:    snap.State,
 		Round:    snap.Round,
 		Messages: snap.Messages,

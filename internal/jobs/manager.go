@@ -430,6 +430,7 @@ func recordPersisted(rec *record) PersistedJob {
 		Kind:     int(rec.job.Kind),
 		Seq:      rec.job.Seq,
 		Label:    rec.job.Label,
+		TraceID:  rec.job.TraceID,
 		Timeout:  int64(rec.job.Timeout),
 		Options:  persistedOptions(rec.job.Opt),
 		State:    st,

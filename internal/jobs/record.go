@@ -72,7 +72,8 @@ type Snapshot struct {
 	ID       string
 	Kind     graphrealize.JobKind
 	Label    string
-	N        int // sequence length
+	TraceID  string // request-correlation ID, "" when the submitter sent none
+	N        int    // sequence length
 	State    State
 	Round    int // rounds completed at the last progress barrier
 	Messages int // messages delivered at the last progress barrier
@@ -193,6 +194,7 @@ func (r *record) snapshot() Snapshot {
 		ID:        r.id,
 		Kind:      r.job.Kind,
 		Label:     r.job.Label,
+		TraceID:   r.job.TraceID,
 		N:         len(r.job.Seq),
 		State:     r.state,
 		Round:     round,

@@ -150,6 +150,7 @@ type PersistedJob struct {
 	Kind    int               `json:"kind"`
 	Seq     []int             `json:"seq"`
 	Label   string            `json:"label,omitempty"`
+	TraceID string            `json:"trace_id,omitempty"`
 	Timeout int64             `json:"timeout_ns,omitempty"`
 	Options *PersistedOptions `json:"options,omitempty"`
 
@@ -169,6 +170,7 @@ func (p *PersistedJob) jobSpec() graphrealize.Job {
 		Seq:     p.Seq,
 		Opt:     p.Options.options(),
 		Label:   p.Label,
+		TraceID: p.TraceID,
 		Timeout: time.Duration(p.Timeout),
 	}
 }
@@ -184,6 +186,7 @@ func persistedJob(rec *record, st State, jerr error, res *graphrealize.Result, f
 		Kind:     int(rec.job.Kind),
 		Seq:      rec.job.Seq,
 		Label:    rec.job.Label,
+		TraceID:  rec.job.TraceID,
 		Timeout:  int64(rec.job.Timeout),
 		Options:  persistedOptions(rec.job.Opt),
 		State:    st,

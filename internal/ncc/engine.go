@@ -3,6 +3,7 @@ package ncc
 import (
 	"container/heap"
 	"fmt"
+	"time"
 )
 
 // engine.go is the round engine: the driver loop that sits between barriers,
@@ -14,8 +15,10 @@ import (
 // state; the happens-before edges are provided by the Scheduler (check-in:
 // node → engine; release: engine → node).
 func (s *Sim) drive(panics chan error) {
+	pt := startPhaseTimer(s.cfg.Profile)
 	for {
 		s.sched.AwaitAll()
+		pt.endCompute()
 		// Collect goroutine errors observed this round.
 		for {
 			select {
@@ -91,7 +94,9 @@ func (s *Sim) drive(panics chan error) {
 			s.met.Rounds = s.round
 			return
 		}
+		pt.beginDelivery()
 		woken, derr := s.del.route(s.active, s.awaiters, s.round, &s.met)
+		pt.endDelivery()
 		if derr != nil && s.firstErr == nil {
 			s.firstErr = derr
 		}
@@ -126,8 +131,74 @@ func (s *Sim) drive(panics chan error) {
 				return
 			}
 		}
+		pt.flushRound()
 		s.wakeSet(next)
 	}
+}
+
+// phaseTimer splits one round's wall time into the three Config.Profile
+// phases. With a nil hook every method is a no-op with zero clock reads, so
+// unprofiled runs pay nothing. The spans tile the driver loop exactly:
+//
+//	compute  — wakeSet's release → AwaitAll return (node slices running; on
+//	           the flat driver Release steps the nodes inline, so compute is
+//	           attributed identically)
+//	delivery — the del.route call
+//	barrier  — everything else between barriers (error collection, Progress/
+//	           Stop polls, partitioning, collectives, round advance, and the
+//	           wake-set sort inside wakeSet, which lands in the next round's
+//	           compute span — negligible by construction)
+//
+// flushRound fires the hook immediately before the next release, i.e. once
+// per completed round on the driver goroutine; rounds that end the run
+// (every node done, or an aborting error) never flush and are dropped.
+type phaseTimer struct {
+	hook                       func(compute, delivery, barrier time.Duration)
+	mark                       time.Time
+	compute, delivery, barrier time.Duration
+}
+
+func startPhaseTimer(hook func(compute, delivery, barrier time.Duration)) phaseTimer {
+	pt := phaseTimer{hook: hook}
+	if hook != nil {
+		pt.mark = time.Now()
+	}
+	return pt
+}
+
+// lap returns the span since the previous mark and re-marks.
+func (pt *phaseTimer) lap() time.Duration {
+	now := time.Now()
+	d := now.Sub(pt.mark)
+	pt.mark = now
+	return d
+}
+
+func (pt *phaseTimer) endCompute() {
+	if pt.hook != nil {
+		pt.compute += pt.lap()
+	}
+}
+
+func (pt *phaseTimer) beginDelivery() {
+	if pt.hook != nil {
+		pt.barrier += pt.lap()
+	}
+}
+
+func (pt *phaseTimer) endDelivery() {
+	if pt.hook != nil {
+		pt.delivery += pt.lap()
+	}
+}
+
+func (pt *phaseTimer) flushRound() {
+	if pt.hook == nil {
+		return
+	}
+	pt.barrier += pt.lap()
+	pt.hook(pt.compute, pt.delivery, pt.barrier)
+	pt.compute, pt.delivery, pt.barrier = 0, 0, 0
 }
 
 // nextActive gathers the nodes that act in the (already advanced) round:

@@ -26,6 +26,12 @@ import (
 // continuation and the park-entry bookkeeping after it returns the next Op,
 // in the same order, against the same fields, so the engine — which is shared
 // verbatim — sees byte-identical check-in states every round.
+//
+// Phase profiling (Config.Profile): Release steps every node inline, so the
+// whole round's protocol work happens inside the engine's compute span
+// (Release → AwaitAll, where AwaitAll is a no-op here). Compute therefore
+// means the same thing on every driver — time spent running node slices —
+// and barrier shrinks to pure engine bookkeeping.
 type flatScheduler struct {
 	sim   *Sim
 	entry Proto

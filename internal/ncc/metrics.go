@@ -5,6 +5,12 @@ import "fmt"
 // Metrics aggregates the cost accounting of a simulation run. Rounds is the
 // primary figure of merit in the NCC model; message counts and congestion
 // statistics support the capacity analysis.
+//
+// Metrics is deliberately wall-clock-free: every field is a deterministic
+// function of the Config, so traces compare byte-identical across scheduler
+// drivers (sched_conformance_test.go). Wall-time observability — per-phase
+// round profiling — flows through Config.Profile instead and never lands
+// here.
 type Metrics struct {
 	N        int   // number of nodes
 	Capacity int   // per-node per-round send/recv message budget

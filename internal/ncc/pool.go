@@ -33,6 +33,12 @@ import (
 // Both countdown chains are the pattern barrierScheduler already relies on:
 // every decrement is an acquire of all prior release-decrements, so AwaitAll
 // returning observes every parked node's writes.
+//
+// Phase profiling (Config.Profile): the engine's compute span covers
+// Release → AwaitAll return, which here includes dispatch-channel hops and
+// worker wakeups alongside the node slices themselves — scheduling overhead
+// is deliberately attributed to compute, since it is the cost of running the
+// slices under this driver.
 type poolScheduler struct {
 	workers int
 	window  int // batch size; poolWindow unless overridden in tests

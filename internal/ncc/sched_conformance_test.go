@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // sched_conformance_test.go is the scheduler-conformance suite: every test
@@ -213,6 +214,44 @@ func TestSchedConformanceTraceIdentical(t *testing.T) {
 			for _, v := range schedVariants()[1:] {
 				got := runMixed(t, v, n, seed)
 				tracesEqual(t, ref, got, fmt.Sprintf("n=%d seed=%d %s", n, seed, v.name))
+			}
+		}
+	}
+}
+
+// TestSchedConformanceProfileInert pins the observability contract from
+// Config.Profile's doc: enabling phase profiling changes nothing observable.
+// The same (n, seed) run with the hook set produces a Trace byte-identical to
+// the unprofiled run on every driver — wall-clock timings flow only through
+// the hook, never into Metrics or per-node results.
+func TestSchedConformanceProfileInert(t *testing.T) {
+	for _, n := range []int{1, 6, 64} {
+		for _, seed := range []int64{1, 42} {
+			for _, v := range schedVariants() {
+				ref := runMixed(t, v, n, seed)
+
+				rounds := 0
+				var total time.Duration
+				s := v.newSim(Config{N: n, Seed: seed, Profile: func(c, d, b time.Duration) {
+					rounds++
+					total += c + d + b
+				}})
+				registerTally(s)
+				got, err := v.run(s, mixedProto(24), mixedProtoStep(24))
+				if err != nil {
+					t.Fatalf("%s n=%d seed=%d: %v", v.name, n, seed, err)
+				}
+				tracesEqual(t, ref, got, fmt.Sprintf("profiled n=%d seed=%d %s", n, seed, v.name))
+				if rounds == 0 {
+					t.Fatalf("%s n=%d seed=%d: profile hook never fired", v.name, n, seed)
+				}
+				if rounds > got.Metrics.Rounds {
+					t.Fatalf("%s n=%d seed=%d: %d profile calls for %d rounds (final round must not report)",
+						v.name, n, seed, rounds, got.Metrics.Rounds)
+				}
+				if total <= 0 {
+					t.Fatalf("%s n=%d seed=%d: profiled phase time %v, want > 0", v.name, n, seed, total)
+				}
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // sim.go is the engine's front door: configuration, instance construction,
@@ -45,6 +46,19 @@ type Config struct {
 	// but it executes inside the round loop and must return quickly without
 	// blocking; a slow hook stretches every round.
 	Progress func(round, msgs int)
+	// Profile, if non-nil, receives every completed round's wall-time split
+	// into compute (node protocol slices running, release → barrier),
+	// delivery (message routing), and barrier (remaining engine bookkeeping:
+	// partitioning, collectives, round advance). It fires on the driver
+	// goroutine immediately before the next round's release, so — like
+	// Progress — it needs no synchronization with the protocol but must
+	// return quickly. The timings are observational wall-clock measurements:
+	// they never enter the Trace or Metrics, so profiled and unprofiled runs
+	// of the same Config produce byte-identical traces on every scheduler
+	// driver (see sched_conformance_test.go). The final partial round of a
+	// run (the slice in which every node returns, or an aborting error) is
+	// not reported. See DESIGN.md §10 for phase attribution per driver.
+	Profile func(compute, delivery, barrier time.Duration)
 	// OrderedIDs forces node IDs to be assigned in increasing order along the
 	// Gk path (IDs are still random in NCC0 unless Model is NCC1). Figures in
 	// the paper use this layout; by default the path order is a random

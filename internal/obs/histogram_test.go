@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	h.Observe(1)         // → le="1"
+	h.Observe(1.0000001) // → le="2"
+	h.Observe(2)         // → le="2"
+	h.Observe(4)         // → le="4"
+	h.Observe(4.0000001) // → +Inf
+	h.Observe(0)         // → le="1"
+	h.Observe(-1)        // below the first bound still counts there
+	h.Observe(1e300)     // → +Inf
+	s := h.Snapshot()
+	wantCum := []int64{3, 5, 6} // cumulative
+	for i, want := range wantCum {
+		if s.Counts[i] != want {
+			t.Errorf("cumulative count for le=%g: got %d want %d", s.Bounds[i], s.Counts[i], want)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	wantSum := 1 + 1.0000001 + 2 + 4 + 4.0000001 + 0 - 1 + 1e300
+	if math.Abs(s.Sum-wantSum) > 1e285 {
+		t.Errorf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	const goroutines, perG = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) * 1e-5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	// Sum of 1e-5 * (0 + 1 + ... + N-1).
+	n := float64(goroutines * perG)
+	wantSum := 1e-5 * n * (n - 1) / 2
+	if math.Abs(s.Sum-wantSum)/wantSum > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", s.Sum, wantSum)
+	}
+	// Cumulative counts must be monotone and end ≤ Count.
+	prev := int64(0)
+	for i, c := range s.Counts {
+		if c < prev {
+			t.Fatalf("cumulative counts regress at bucket %d: %d after %d", i, c, prev)
+		}
+		prev = c
+	}
+	if prev > s.Count {
+		t.Fatalf("last cumulative bucket %d exceeds Count %d", prev, s.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in (1, 2]
+	}
+	s := h.Snapshot()
+	// Linear interpolation within the (1,2] bucket: p50 at rank 50/100.
+	if q := s.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %g, want within (1, 2]", q)
+	}
+	if q := s.Quantile(1); q != 2 {
+		t.Errorf("p100 = %g, want 2 (bucket upper bound)", q)
+	}
+	// Observations beyond the last finite bound clamp to it.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Snapshot().Quantile(0.99); q != 1 {
+		t.Errorf("overflow quantile = %g, want clamp to 1", q)
+	}
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestWriteHistogramFormat(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	var b strings.Builder
+	WriteHistogram(&b, "x_seconds", "Test family.",
+		HistogramSeries{Labels: `route="a"`, Snap: h.Snapshot()},
+		HistogramSeries{Snap: NewHistogram([]float64{1}).Snapshot()},
+	)
+	got := b.String()
+	want := `# HELP x_seconds Test family.
+# TYPE x_seconds histogram
+x_seconds_bucket{route="a",le="0.001"} 1
+x_seconds_bucket{route="a",le="0.01"} 2
+x_seconds_bucket{route="a",le="+Inf"} 3
+x_seconds_sum{route="a"} 5.0055
+x_seconds_count{route="a"} 3
+x_seconds_bucket{le="1"} 0
+x_seconds_bucket{le="+Inf"} 0
+x_seconds_sum 0
+x_seconds_count 0
+`
+	if got != want {
+		t.Errorf("WriteHistogram output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.ObserveDuration(500 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Counts[0] != 0 || s.Counts[1] != 1 {
+		t.Fatalf("500ms landed wrong: cumulative %v", s.Counts)
+	}
+}

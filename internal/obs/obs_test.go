@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if !ValidTraceID(id) {
+			t.Fatalf("generated trace ID %q fails its own validation", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"a", "abc-123", "req_42.7", "X/Y:Z", strings.Repeat("x", 128)}
+	for _, s := range valid {
+		if !ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = false, want true", s)
+		}
+	}
+	invalid := []string{"", "has space", "quo\"te", "back\\slash", "newline\n", "tab\t", "héllo", strings.Repeat("x", 129)}
+	for _, s := range invalid {
+		if ValidTraceID(s) {
+			t.Errorf("ValidTraceID(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("TraceID(empty ctx) = %q, want \"\"", got)
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("TraceID = %q, want abc123", got)
+	}
+}
+
+func TestPhaseProfile(t *testing.T) {
+	p := NewPhaseProfile()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.ObserveRound(time.Microsecond, 2*time.Microsecond, 3*time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := p.Snapshot()
+	if s.Rounds != 800 {
+		t.Fatalf("Rounds = %d, want 800", s.Rounds)
+	}
+	if s.Compute != 800*time.Microsecond || s.Delivery != 1600*time.Microsecond || s.Barrier != 2400*time.Microsecond {
+		t.Fatalf("phase totals = %v/%v/%v, want 800µs/1.6ms/2.4ms", s.Compute, s.Delivery, s.Barrier)
+	}
+	if got := p.Round.Snapshot().Count; got != 800 {
+		t.Fatalf("round histogram count = %d, want 800", got)
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	r := NewFlightRecorder(3)
+	for _, ms := range []int{5, 1, 9, 3, 7} {
+		r.Record(FlightEntry{TraceID: "t", Run: time.Duration(ms) * time.Millisecond})
+	}
+	got := r.Slowest()
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	want := []time.Duration{9 * time.Millisecond, 7 * time.Millisecond, 5 * time.Millisecond}
+	for i, e := range got {
+		if e.Run != want[i] {
+			t.Fatalf("entry %d has Run %v, want %v (got order %v)", i, e.Run, want[i], got)
+		}
+	}
+	// A run slower than the floor is dropped; a faster one displaces it.
+	r.Record(FlightEntry{Run: 2 * time.Millisecond})
+	if got := r.Slowest(); got[len(got)-1].Run != 5*time.Millisecond {
+		t.Fatalf("2ms run displaced a 5ms entry")
+	}
+	r.Record(FlightEntry{Run: 8 * time.Millisecond})
+	got = r.Slowest()
+	if got[1].Run != 8*time.Millisecond || got[2].Run != 7*time.Millisecond {
+		t.Fatalf("8ms run not inserted in order: %v", got)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(FlightEntry{Run: time.Duration(g*200+i) * time.Microsecond})
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := r.Slowest()
+	if len(got) != 8 {
+		t.Fatalf("retained %d entries, want 8", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Run > got[i-1].Run {
+			t.Fatalf("entries out of order at %d: %v after %v", i, got[i].Run, got[i-1].Run)
+		}
+	}
+}

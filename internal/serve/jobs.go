@@ -10,6 +10,7 @@ import (
 
 	"graphrealize"
 	"graphrealize/internal/jobs"
+	"graphrealize/internal/obs"
 )
 
 // jobs.go is the asynchronous half of the API: fire-and-poll realizations
@@ -37,7 +38,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, err := s.cfg.Jobs.Submit(graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt, Label: req.Label})
+	snap, err := s.cfg.Jobs.Submit(graphrealize.Job{
+		Kind: kind, Seq: req.Sequence, Opt: opt, Label: req.Label,
+		TraceID: obs.TraceID(r.Context()),
+	})
 	if err != nil {
 		switch {
 		case errors.Is(err, graphrealize.ErrQueueFull):

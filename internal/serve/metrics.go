@@ -5,12 +5,19 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"graphrealize/internal/obs"
 )
 
 // metrics.go renders GET /metrics in the Prometheus text exposition format
 // (version 0.0.4) with no external dependencies: the Runner's admission /
-// execution counters, and — when the async subsystem is enabled — the job
-// manager's per-state gauges, subscriber gauge, and GC eviction counter.
+// execution counters, per-route HTTP latency histograms, job queue-wait and
+// run-duration histograms, per-driver engine round histograms with phase
+// counters, and — when the async subsystem is enabled — the job manager's
+// per-state gauges, subscriber gauge, and GC eviction counter. Every family
+// is emitted in a fixed order with sorted series, so consecutive scrapes of
+// an idle server differ only in the metrics route's own latency series (each
+// scrape observes the previous one) — pinned by TestMetricsStableAcrossScrapes.
 
 func b2f(b bool) float64 {
 	if b {
@@ -46,6 +53,26 @@ func (m *metricsWriter) labeled(name, help, label string, rows map[string]int) {
 	}
 }
 
+// histogram emits one histogram family; the caller passes series in its
+// fixed exposition order.
+func (m *metricsWriter) histogram(name, help string, series ...obs.HistogramSeries) {
+	obs.WriteHistogram(&m.b, name, help, series...)
+}
+
+// labeledCounter is one row of a multi-label counter family. Labels must be
+// pre-rendered with keys in alphabetical order.
+type labeledCounter struct {
+	labels string
+	value  float64
+}
+
+func (m *metricsWriter) counterSeries(name, help string, rows []labeledCounter) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, row := range rows {
+		fmt.Fprintf(&m.b, "%s{%s} %g\n", name, row.labels, row.value)
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cfg.Backend.Stats()
 	var mw metricsWriter
@@ -64,6 +91,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	mw.gauge("graphrealize_runner_cache_entries", "Distinct results currently cached.", float64(st.CacheLen))
 	mw.counter("graphrealize_runner_wait_seconds_total", "Cumulative time jobs spent queued.", st.TotalWait.Seconds())
 	mw.counter("graphrealize_runner_run_seconds_total", "Cumulative time jobs spent executing.", st.TotalRun.Seconds())
+
+	// HTTP latency distributions, one series per fixed route label.
+	routeSeries := make([]obs.HistogramSeries, 0, len(routeNames))
+	for _, route := range routeNames {
+		routeSeries = append(routeSeries, obs.HistogramSeries{
+			Labels: fmt.Sprintf("route=%q", route),
+			Snap:   s.routeHist[route].Snapshot(),
+		})
+	}
+	mw.histogram("graphrealize_http_request_seconds", "HTTP request latency by route.", routeSeries...)
+
+	if o := s.runnerObs; o != nil {
+		mw.histogram("graphrealize_runner_queue_wait_seconds",
+			"Time executed jobs spent queued for a worker.",
+			obs.HistogramSeries{Snap: o.QueueWait.Snapshot()})
+		mw.histogram("graphrealize_runner_job_run_seconds",
+			"Execution time of jobs that acquired a worker.",
+			obs.HistogramSeries{Snap: o.Run.Snapshot()})
+
+		// Engine phase profile per scheduler driver: a round-duration
+		// histogram, cumulative per-phase wall time, and the round counter.
+		roundSeries := make([]obs.HistogramSeries, 0, len(schedulers))
+		phaseRows := make([]labeledCounter, 0, 3*len(schedulers))
+		roundRows := make([]labeledCounter, 0, len(schedulers))
+		for _, sched := range schedulers {
+			p := o.SchedProfile(sched)
+			snap := p.Snapshot()
+			name := sched.String()
+			roundSeries = append(roundSeries, obs.HistogramSeries{
+				Labels: fmt.Sprintf("scheduler=%q", name),
+				Snap:   p.Round.Snapshot(),
+			})
+			for _, ph := range []struct {
+				phase string
+				total float64
+			}{
+				{"barrier", snap.Barrier.Seconds()},
+				{"compute", snap.Compute.Seconds()},
+				{"delivery", snap.Delivery.Seconds()},
+			} {
+				phaseRows = append(phaseRows, labeledCounter{
+					labels: fmt.Sprintf("phase=%q,scheduler=%q", ph.phase, name),
+					value:  ph.total,
+				})
+			}
+			roundRows = append(roundRows, labeledCounter{
+				labels: fmt.Sprintf("scheduler=%q", name),
+				value:  float64(snap.Rounds),
+			})
+		}
+		mw.histogram("graphrealize_engine_round_seconds", "Engine round duration by scheduler driver.", roundSeries...)
+		mw.counterSeries("graphrealize_engine_phase_seconds_total",
+			"Cumulative engine round wall time split by phase and scheduler driver.", phaseRows)
+		mw.counterSeries("graphrealize_engine_rounds_total",
+			"Engine rounds profiled per scheduler driver.", roundRows)
+	}
 
 	if s.cfg.Jobs != nil {
 		js := s.cfg.Jobs.StatsSnapshot()

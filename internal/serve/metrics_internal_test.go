@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"testing"
+
+	"graphrealize/internal/obs"
+)
+
+// metrics_internal_test.go pins the metricsWriter's exact output — the
+// exposition must be deterministic (sorted label rows, fixed series order)
+// so consecutive scrapes and golden diffs are trustworthy.
+
+func TestMetricsWriterGolden(t *testing.T) {
+	var mw metricsWriter
+	mw.gauge("g_metric", "A gauge.", 2.5)
+	mw.counter("c_metric", "A counter.", 7)
+	// Map iteration order is random; labeled must sort rows.
+	mw.labeled("l_metric", "Labeled.", "state", map[string]int{
+		"queued": 1, "done": 3, "canceled": 0, "failed": 2, "running": 4,
+	})
+	h := obs.NewHistogram([]float64{0.01, 0.1})
+	h.Observe(0.05)
+	mw.histogram("h_metric", "Histogram.", obs.HistogramSeries{Labels: `route="x"`, Snap: h.Snapshot()})
+	mw.counterSeries("s_metric", "Series.", []labeledCounter{
+		{labels: `phase="compute",scheduler="barrier"`, value: 1.5},
+		{labels: `phase="delivery",scheduler="barrier"`, value: 0},
+	})
+
+	want := `# HELP g_metric A gauge.
+# TYPE g_metric gauge
+g_metric 2.5
+# HELP c_metric A counter.
+# TYPE c_metric counter
+c_metric 7
+# HELP l_metric Labeled.
+# TYPE l_metric gauge
+l_metric{state="canceled"} 0
+l_metric{state="done"} 3
+l_metric{state="failed"} 2
+l_metric{state="queued"} 1
+l_metric{state="running"} 4
+# HELP h_metric Histogram.
+# TYPE h_metric histogram
+h_metric_bucket{route="x",le="0.01"} 0
+h_metric_bucket{route="x",le="0.1"} 1
+h_metric_bucket{route="x",le="+Inf"} 1
+h_metric_sum{route="x"} 0.05
+h_metric_count{route="x"} 1
+# HELP s_metric Series.
+# TYPE s_metric counter
+s_metric{phase="compute",scheduler="barrier"} 1.5
+s_metric{phase="delivery",scheduler="barrier"} 0
+`
+	if got := mw.b.String(); got != want {
+		t.Errorf("metricsWriter output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsWriterLabeledStable runs labeled repeatedly over the same map:
+// any reliance on map iteration order shows up as flaky output.
+func TestMetricsWriterLabeledStable(t *testing.T) {
+	rows := map[string]int{"b": 2, "a": 1, "d": 4, "c": 3, "e": 5, "f": 6}
+	var first string
+	for i := 0; i < 20; i++ {
+		var mw metricsWriter
+		mw.labeled("x", "X.", "k", rows)
+		if i == 0 {
+			first = mw.b.String()
+			continue
+		}
+		if got := mw.b.String(); got != first {
+			t.Fatalf("labeled output varies between calls:\n%s\nvs\n%s", got, first)
+		}
+	}
+}

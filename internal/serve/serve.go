@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -48,6 +49,7 @@ import (
 
 	"graphrealize"
 	"graphrealize/internal/jobs"
+	"graphrealize/internal/obs"
 )
 
 // StatusClientClosedRequest reports a job abandoned because the client went
@@ -84,12 +86,47 @@ type Config struct {
 	DefaultScheduler graphrealize.Scheduler
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives one structured record per request
+	// (trace_id, route, method, path, status, elapsed_ms) — the machine-
+	// grep-able counterpart of Logf. Both may be set; both fire.
+	Logger *slog.Logger
+}
+
+// obsBackend is the optional Backend extension exposing the Runner's
+// wall-clock observability (histograms, phase profiles, flight recorder).
+// It is a separate assertion rather than part of Backend so the scripted
+// test backends stay minimal; a *graphrealize.Runner always satisfies it.
+type obsBackend interface {
+	Obs() *graphrealize.RunnerObs
+}
+
+// routeNames is every route label the server exports, in the sorted order
+// /metrics emits them. Fixed at compile time: per-route histograms must not
+// be allocated from request paths (unbounded label cardinality).
+var routeNames = []string{
+	"healthz",
+	"jobs_cancel",
+	"jobs_events",
+	"jobs_get",
+	"jobs_list",
+	"jobs_submit",
+	"metrics",
+	"realize",
+	"slowest",
+	"stats",
+	"sweep",
 }
 
 // Server routes realization requests onto a Backend.
 type Server struct {
 	cfg     Config
 	started time.Time
+
+	// runnerObs is the Backend's instrument set, nil when the backend does
+	// not implement obsBackend (scripted test backends).
+	runnerObs *graphrealize.RunnerObs
+	// routeHist holds one HTTP latency histogram per entry of routeNames.
+	routeHist map[string]*obs.Histogram
 
 	// Watermarks of the executed-job counters at the previous Retry-After
 	// computation, so the hint reflects recent latency, not the lifetime
@@ -118,23 +155,31 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	return &Server{cfg: cfg, started: time.Now()}
+	s := &Server{cfg: cfg, started: time.Now(), routeHist: make(map[string]*obs.Histogram, len(routeNames))}
+	if ob, ok := cfg.Backend.(obsBackend); ok {
+		s.runnerObs = ob.Obs()
+	}
+	for _, route := range routeNames {
+		s.routeHist[route] = obs.NewHistogram(obs.DefaultLatencyBuckets)
+	}
+	return s
 }
 
 // Handler returns the service's routing table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/realize/{alg}", s.logged(s.handleRealize))
-	mux.HandleFunc("POST /v1/sweep", s.logged(s.handleSweep))
-	mux.HandleFunc("GET /healthz", s.logged(s.handleHealth))
-	mux.HandleFunc("GET /v1/stats", s.logged(s.handleStats))
-	mux.HandleFunc("GET /metrics", s.logged(s.handleMetrics))
+	mux.HandleFunc("POST /v1/realize/{alg}", s.instrument("realize", s.handleRealize))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/debug/slowest", s.instrument("slowest", s.handleDebugSlowest))
 	if s.cfg.Jobs != nil {
-		mux.HandleFunc("POST /v1/jobs", s.logged(s.handleJobSubmit))
-		mux.HandleFunc("GET /v1/jobs", s.logged(s.handleJobList))
-		mux.HandleFunc("GET /v1/jobs/{id}", s.logged(s.handleJobGet))
-		mux.HandleFunc("DELETE /v1/jobs/{id}", s.logged(s.handleJobCancel))
-		mux.HandleFunc("GET /v1/jobs/{id}/events", s.logged(s.handleJobEvents))
+		mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
+		mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
+		mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs_get", s.handleJobGet))
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("jobs_cancel", s.handleJobCancel))
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("jobs_events", s.handleJobEvents))
 	}
 	return mux
 }
@@ -157,15 +202,40 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter {
 	return r.ResponseWriter
 }
 
-func (s *Server) logged(h http.HandlerFunc) http.HandlerFunc {
-	if s.cfg.Logf == nil {
-		return h
-	}
+// instrument is the per-request observability middleware, applied to every
+// route: it adopts the client's X-Request-Id (when valid) or mints a trace
+// ID, echoes it on the response, carries it in the request context for
+// handlers to propagate into jobs, observes the route's latency histogram,
+// and emits the request log line(s). Unlike the old Logf-only wrapper it
+// always wraps — tracing and histograms are unconditional; the statusRecorder
+// keeps the Unwrap chain intact so SSE flushing still works.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.routeHist[route]
 	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(obs.HeaderRequestID)
+		if !obs.ValidTraceID(id) {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(obs.HeaderRequestID, id)
+		r = r.WithContext(obs.WithTraceID(r.Context(), id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		s.cfg.Logf("%s %s -> %d (%.1fms)", r.Method, r.URL.Path, rec.status, float64(time.Since(start).Microseconds())/1000)
+		elapsed := time.Since(start)
+		hist.ObserveDuration(elapsed)
+		elapsedMS := float64(elapsed.Microseconds()) / 1000
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				"trace_id", id,
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"elapsed_ms", elapsedMS)
+		}
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s -> %d (%.1fms) trace=%s", r.Method, r.URL.Path, rec.status, elapsedMS, id)
+		}
 	}
 }
 
@@ -346,7 +416,10 @@ func (s *Server) handleRealize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, ok := s.submit(w, r.Context(), graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt})
+	res, ok := s.submit(w, r.Context(), graphrealize.Job{
+		Kind: kind, Seq: req.Sequence, Opt: opt,
+		TraceID: obs.TraceID(r.Context()),
+	})
 	if !ok {
 		return
 	}
@@ -416,7 +489,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	sweepJobs := graphrealize.SweepSeeds(graphrealize.Job{Kind: kind, Seq: req.Sequence, Opt: opt}, seeds)
+	sweepJobs := graphrealize.SweepSeeds(graphrealize.Job{
+		Kind: kind, Seq: req.Sequence, Opt: opt,
+		TraceID: obs.TraceID(r.Context()),
+	}, seeds)
 	// The whole sweep is admitted atomically (every job or none), so a
 	// saturated Runner rejects it as a unit (429) instead of wedging it
 	// halfway or starving a concurrent sweep.
@@ -470,5 +546,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse(s.cfg.Backend.Stats(), time.Since(s.started)))
+	writeJSON(w, http.StatusOK, statsResponse(s.cfg.Backend.Stats(), time.Since(s.started), s.runnerObs))
 }

@@ -189,9 +189,27 @@ type StatsResponse struct {
 	CacheLen   int     `json:"cache_len"`
 	AvgWaitMS  float64 `json:"avg_wait_ms"`
 	AvgRunMS   float64 `json:"avg_run_ms"`
+	// Run-latency quantiles from the Runner's histogram (histogram-derived:
+	// interpolated within fixed buckets, not exact order statistics). Zero
+	// when the backend exposes no instruments or nothing has executed.
+	P50RunMS float64 `json:"p50_run_ms"`
+	P95RunMS float64 `json:"p95_run_ms"`
+	P99RunMS float64 `json:"p99_run_ms"`
+	// Phases reports engine round counts and phase wall-time per scheduler
+	// driver, keyed "barrier" / "pool" / "flat". Nil when the backend
+	// exposes no instruments.
+	Phases map[string]SchedPhaseJSON `json:"phases,omitempty"`
 }
 
-func statsResponse(rs graphrealize.RunnerStats, uptime time.Duration) StatsResponse {
+// SchedPhaseJSON is one scheduler driver's accumulated engine phase profile.
+type SchedPhaseJSON struct {
+	Rounds    int64   `json:"rounds"`
+	ComputeS  float64 `json:"compute_s"`
+	DeliveryS float64 `json:"delivery_s"`
+	BarrierS  float64 `json:"barrier_s"`
+}
+
+func statsResponse(rs graphrealize.RunnerStats, uptime time.Duration, o *graphrealize.RunnerObs) StatsResponse {
 	resp := StatsResponse{
 		UptimeS:    uptime.Seconds(),
 		Workers:    rs.Workers,
@@ -215,7 +233,31 @@ func statsResponse(rs graphrealize.RunnerStats, uptime time.Duration) StatsRespo
 		resp.AvgWaitMS = float64(rs.TotalWait.Nanoseconds()) / 1e6 / float64(rs.Executed)
 		resp.AvgRunMS = float64(rs.TotalRun.Nanoseconds()) / 1e6 / float64(rs.Executed)
 	}
+	if o != nil {
+		run := o.Run.Snapshot()
+		resp.P50RunMS = run.Quantile(0.50) * 1000
+		resp.P95RunMS = run.Quantile(0.95) * 1000
+		resp.P99RunMS = run.Quantile(0.99) * 1000
+		resp.Phases = make(map[string]SchedPhaseJSON, len(schedulers))
+		for _, sched := range schedulers {
+			p := o.SchedProfile(sched).Snapshot()
+			resp.Phases[sched.String()] = SchedPhaseJSON{
+				Rounds:    p.Rounds,
+				ComputeS:  p.Compute.Seconds(),
+				DeliveryS: p.Delivery.Seconds(),
+				BarrierS:  p.Barrier.Seconds(),
+			}
+		}
+	}
 	return resp
+}
+
+// schedulers lists every driver in the fixed (alphabetical-by-name) order
+// the stats and metrics expositions use: barrier, flat, pool.
+var schedulers = []graphrealize.Scheduler{
+	graphrealize.BarrierScheduler,
+	graphrealize.FlatScheduler,
+	graphrealize.PoolScheduler,
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -238,6 +280,9 @@ type JobRequest struct {
 	Label string `json:"label,omitempty"`
 }
 
+// (The submitting request's trace ID is taken from the X-Request-Id header —
+// the same channel as synchronous requests — not from the body.)
+
 // JobJSON is one job's externally visible state (202/200 bodies and list
 // rows). Result is present only on GET /v1/jobs/{id} of a done job.
 type JobJSON struct {
@@ -246,6 +291,7 @@ type JobJSON struct {
 	State      string           `json:"state"`
 	N          int              `json:"n"`
 	Label      string           `json:"label,omitempty"`
+	TraceID    string           `json:"trace_id,omitempty"`
 	Round      int              `json:"round"`
 	Messages   int              `json:"messages"`
 	CreatedAt  time.Time        `json:"created_at"`
@@ -267,6 +313,7 @@ func jobJSON(snap jobs.Snapshot, includeResult, omitEdges bool) JobJSON {
 		State:     string(snap.State),
 		N:         snap.N,
 		Label:     snap.Label,
+		TraceID:   snap.TraceID,
 		Round:     snap.Round,
 		Messages:  snap.Messages,
 		CreatedAt: snap.Created,
@@ -316,6 +363,7 @@ type JobListResponse struct {
 // GET /v1/jobs/{id}/events.
 type JobEventJSON struct {
 	ID       string `json:"id"`
+	TraceID  string `json:"trace_id,omitempty"`
 	State    string `json:"state"`
 	Round    int    `json:"round"`
 	Messages int    `json:"messages"`
@@ -325,6 +373,7 @@ type JobEventJSON struct {
 func jobEventJSON(ev jobs.Event) JobEventJSON {
 	return JobEventJSON{
 		ID:       ev.JobID,
+		TraceID:  ev.TraceID,
 		State:    string(ev.State),
 		Round:    ev.Round,
 		Messages: ev.Messages,

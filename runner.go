@@ -68,6 +68,10 @@ type Job struct {
 	Seq   []int
 	Opt   *Options
 	Label string
+	// TraceID is an optional request-correlation ID carried through to the
+	// Result untouched, like Label: it appears in job records, events, and
+	// the flight recorder, but never affects execution or the cache key.
+	TraceID string
 	// Timeout overrides the Runner's JobTimeout for this job: positive caps
 	// execution at the given duration, negative disables the per-job
 	// deadline entirely, zero keeps the Runner's default. Long-regime
@@ -131,6 +135,10 @@ type Runner struct {
 	// exec is the job executor, swappable in tests; Execute otherwise.
 	exec func(context.Context, Job) Result
 
+	// obs holds the wall-clock instruments (observe.go): latency histograms,
+	// per-driver phase profiles, and the slowest-jobs flight recorder.
+	obs *RunnerObs
+
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	replayed  atomic.Int64
@@ -172,6 +180,7 @@ func NewRunnerConfig(cfg RunnerConfig) *Runner {
 		timeout:  cfg.JobTimeout,
 		cache:    newResultCache(cfg.CacheSize),
 		admitCap: -1,
+		obs:      newRunnerObs(),
 	}
 	if cfg.Queue >= 0 {
 		// One admission unit per job in flight: Workers executing plus at
@@ -351,7 +360,9 @@ func (r *Runner) executeAdmitted(ctx context.Context, j Job, enqueued time.Time)
 	r.queued.Add(-1)
 	r.active.Add(1)
 	r.executed.Add(1)
-	r.waitNanos.Add(time.Since(enqueued).Nanoseconds())
+	wait := time.Since(enqueued)
+	r.waitNanos.Add(wait.Nanoseconds())
+	r.obs.QueueWait.ObserveDuration(wait)
 	defer func() {
 		<-r.sem
 		r.active.Add(-1)
@@ -366,9 +377,14 @@ func (r *Runner) executeAdmitted(ctx context.Context, j Job, enqueued time.Time)
 		jctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	var acc phaseAccum
 	start := time.Now()
-	res := r.run(jctx, j)
-	r.runNanos.Add(time.Since(start).Nanoseconds())
+	res := r.run(jctx, r.observe(j, &acc))
+	res.Job = j // the observed copy's chained Profile hook is an internal detail
+	run := time.Since(start)
+	r.runNanos.Add(run.Nanoseconds())
+	r.obs.Run.ObserveDuration(run)
+	r.recordFlight(j, res, wait, run, &acc)
 	r.countOutcome(res.Err)
 	return res
 }
@@ -518,9 +534,10 @@ type cacheKey struct {
 }
 
 // optKey is the comparable projection of Options used in cache keys: every
-// field that affects a run's outcome, and nothing else. Progress is
-// observational (and, being a func, not comparable), so jobs differing only
-// in their progress hook share one cached result.
+// field that affects a run's outcome, and nothing else. Progress and Profile
+// are observational (and, being funcs, not comparable), so jobs differing
+// only in their hooks share one cached result; Job.TraceID is likewise
+// excluded — correlation IDs identify requests, not results.
 type optKey struct {
 	model     Model
 	seed      int64
