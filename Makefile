@@ -50,7 +50,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/ncc/ ./internal/jobs/ ./internal/obs/ ./internal/serve/ .
+	$(GO) test -race ./internal/ncc/ ./internal/jobs/ ./internal/obs/ ./internal/serve/ ./internal/cluster/ .
 
 # Pipe consecutive runs into benchstat to compare engine changes; the
 # delivery/barrier benchmarks track allocs/op, the batch benchmark the

@@ -434,10 +434,33 @@ func fetchStats(client *http.Client, base string) {
 		CacheHits int64   `json:"cache_hits"`
 		AvgWaitMS float64 `json:"avg_wait_ms"`
 		AvgRunMS  float64 `json:"avg_run_ms"`
+		// Cluster is present when the target is a coordinator (CLUSTER.md
+		// §7.1): the load just generated was sharded over these workers.
+		Cluster *struct {
+			Alive     int   `json:"alive"`
+			Suspect   int   `json:"suspect"`
+			Dead      int   `json:"dead"`
+			Failovers int64 `json:"failovers"`
+			Proxied   int64 `json:"proxied"`
+			Workers   []struct {
+				Name string `json:"name"`
+				Load struct {
+					Executed  int64 `json:"executed"`
+					CacheHits int64 `json:"cache_hits"`
+				} `json:"load"`
+			} `json:"workers"`
+		} `json:"cluster"`
 	}
 	if json.NewDecoder(resp.Body).Decode(&st) == nil {
 		fmt.Printf("server: submitted=%d rejected=%d cache_hits=%d avg_wait=%.1fms avg_run=%.1fms\n",
 			st.Submitted, st.Rejected, st.CacheHits, st.AvgWaitMS, st.AvgRunMS)
+		if c := st.Cluster; c != nil {
+			fmt.Printf("cluster: %d alive / %d suspect / %d dead, proxied=%d failovers=%d\n",
+				c.Alive, c.Suspect, c.Dead, c.Proxied, c.Failovers)
+			for _, w := range c.Workers {
+				fmt.Printf("  worker %s: executed=%d cache_hits=%d\n", w.Name, w.Load.Executed, w.Load.CacheHits)
+			}
+		}
 	}
 }
 

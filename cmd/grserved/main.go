@@ -20,6 +20,16 @@
 // their recorded seeds. Empty -data-dir (the default) keeps jobs in memory
 // only, exactly as before.
 //
+// Cluster mode (CLUSTER.md): `grserved -coordinator` serves the same API
+// with no local engine — jobs are routed to joined workers by rendezvous
+// hashing on their cache key, with failover to the next-ranked worker when
+// one dies. `grserved -join http://coordinator:port` runs a normal worker
+// that registers and heartbeats:
+//
+//	grserved -coordinator -addr :8100                 # the front door
+//	grserved -addr :8101 -join http://127.0.0.1:8100  # worker 1
+//	grserved -addr :8102 -join http://127.0.0.1:8100  # worker 2
+//
 // The server drains in-flight requests and async jobs on SIGINT/SIGTERM and
 // exits 0.
 package main
@@ -30,6 +40,7 @@ import (
 	"flag"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -39,9 +50,35 @@ import (
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/cluster"
 	"graphrealize/internal/jobs"
 	"graphrealize/internal/serve"
 )
+
+// backendAPI is the union of the serving and job-manager backend seams,
+// satisfied by both a local *graphrealize.Runner and a *cluster.Backend.
+type backendAPI interface {
+	SubmitCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	SubmitAllCtx(ctx context.Context, jobs []graphrealize.Job) ([]<-chan graphrealize.Result, error)
+	SubmitReplayCtx(ctx context.Context, j graphrealize.Job) (<-chan graphrealize.Result, error)
+	Stats() graphrealize.RunnerStats
+}
+
+// deriveAdvertise turns a listen address into the default URL the
+// coordinator can reach this worker at: wildcard hosts become loopback
+// (single-machine clusters are the default topology; multi-host workers set
+// -advertise explicitly).
+func deriveAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -59,6 +96,13 @@ func main() {
 	scheduler := flag.String("scheduler", "barrier", "default simulator driver for requests that don't pick one: barrier, pool or flat")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := flag.String("pprof-addr", "", "separate listen address for net/http/pprof (empty = disabled)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator: no local engine, jobs route to joined workers")
+	join := flag.String("join", "", "coordinator base URL to join as a worker (e.g. http://127.0.0.1:8100)")
+	advertise := flag.String("advertise", "", "base URL the coordinator reaches this worker at (default derived from -addr)")
+	workerName := flag.String("worker-name", "", "stable cluster identity of this worker (default: the advertise URL)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker heartbeat interval when joined")
+	suspectAfter := flag.Duration("suspect-after", 3*time.Second, "coordinator: heartbeat silence before a worker turns suspect")
+	deadAfter := flag.Duration("dead-after", 10*time.Second, "coordinator: heartbeat silence before a worker turns dead (unroutable)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
@@ -67,12 +111,33 @@ func main() {
 	if err != nil {
 		logger.Fatalf("-scheduler: %v", err)
 	}
-	runner := graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{
-		Workers:    *workers,
-		Queue:      *queue,
-		JobTimeout: *jobTimeout,
-		CacheSize:  *cacheSize,
-	})
+	if *coordinator && *join != "" {
+		logger.Fatalf("-coordinator and -join are mutually exclusive (a coordinator is never also a worker)")
+	}
+
+	// The backend is the one seam that changes with the role: a coordinator
+	// routes jobs to its registered workers, everything else executes
+	// locally. The serving and job-manager layers are identical either way.
+	var backend backendAPI
+	var clusterBackend *cluster.Backend
+	if *coordinator {
+		registry := cluster.NewRegistry(cluster.RegistryConfig{
+			SuspectAfter: *suspectAfter,
+			DeadAfter:    *deadAfter,
+		})
+		clusterBackend = cluster.NewBackend(cluster.BackendConfig{
+			Registry: registry,
+			Logf:     logger.Printf,
+		})
+		backend = clusterBackend
+	} else {
+		backend = graphrealize.NewRunnerConfig(graphrealize.RunnerConfig{
+			Workers:    *workers,
+			Queue:      *queue,
+			JobTimeout: *jobTimeout,
+			CacheSize:  *cacheSize,
+		})
+	}
 	var store jobs.Store
 	if *dataDir != "" {
 		fs, err := jobs.OpenFileStore(*dataDir)
@@ -81,28 +146,36 @@ func main() {
 		}
 		store = fs
 	}
-	manager, err := jobs.Open(jobs.Config{
-		Backend:    runner,
+	jcfg := jobs.Config{
+		Backend:    backend,
 		Retention:  *jobTTL,
 		GCInterval: *jobGC,
 		MaxJobs:    *maxJobs,
 		JobTimeout: *asyncTimeout,
 		Store:      store,
-	})
+	}
+	if *join != "" {
+		// A cluster worker never re-runs in-flight jobs from its own durable
+		// store: the coordinator owns routing and has already failed its
+		// work over to a live worker (CLUSTER.md §6.4).
+		jcfg.Owns = func(graphrealize.Job) bool { return false }
+	}
+	manager, err := jobs.Open(jcfg)
 	if err != nil {
 		logger.Fatalf("recover jobs from %s: %v", *dataDir, err)
 	}
 	if *dataDir != "" {
 		js := manager.StatsSnapshot()
-		logger.Printf("durable jobs in %s: recovered %d terminal, re-queued %d in-flight (%d corrupt WAL records dropped)",
-			*dataDir, js.RecoveredTerminal, js.RecoveredRequeued, js.Store.ReplayErrors)
+		logger.Printf("durable jobs in %s: recovered %d terminal, re-queued %d in-flight, %d reassigned (%d corrupt WAL records dropped)",
+			*dataDir, js.RecoveredTerminal, js.RecoveredRequeued, js.RecoveredReassigned, js.Store.ReplayErrors)
 	}
 	cfg := serve.Config{
-		Backend:          runner,
+		Backend:          backend,
 		Jobs:             manager,
 		MaxN:             *maxN,
 		MaxSeeds:         *maxSeeds,
 		DefaultScheduler: defSched,
+		Cluster:          clusterBackend,
 	}
 	if !*quiet {
 		// One structured JSON record per request on stderr: trace_id, route,
@@ -144,10 +217,42 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d job-ttl=%s scheduler=%s)",
-		*addr, max(*workers, 0), *queue, *jobTimeout, *maxN, *jobTTL, defSched)
-	if *workers <= 0 {
-		logger.Printf("worker pool sized to GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	if *coordinator {
+		logger.Printf("coordinator listening on %s (suspect-after=%s dead-after=%s max-n=%d job-ttl=%s)",
+			*addr, *suspectAfter, *deadAfter, *maxN, *jobTTL)
+	} else {
+		logger.Printf("listening on %s (workers=%d queue=%d job-timeout=%s max-n=%d job-ttl=%s scheduler=%s)",
+			*addr, max(*workers, 0), *queue, *jobTimeout, *maxN, *jobTTL, defSched)
+		if *workers <= 0 {
+			logger.Printf("worker pool sized to GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+		}
+	}
+
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = deriveAdvertise(*addr)
+		}
+		if adv == "" {
+			logger.Fatalf("-join: cannot derive an advertise URL from -addr %q; set -advertise", *addr)
+		}
+		name := *workerName
+		if name == "" {
+			name = adv
+		}
+		joiner, err := cluster.NewJoiner(cluster.JoinConfig{
+			Coordinator: *join,
+			Name:        name,
+			Advertise:   adv,
+			Capacity:    backend.Stats().Workers,
+			Interval:    *heartbeat,
+			Stats:       backend.Stats,
+			Logf:        logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("-join: %v", err)
+		}
+		go joiner.Run(ctx)
 	}
 
 	select {
@@ -175,7 +280,7 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatalf("serve: %v", err)
 	}
-	st := runner.Stats()
+	st := backend.Stats()
 	js := manager.StatsSnapshot()
 	logger.Printf("drained: %d completed, %d cache hits, %d rejected, %d failed; async: %d retained, %d evicted",
 		st.Completed, st.CacheHits, st.Rejected, st.Failed, js.Retained, js.Evictions)

@@ -1,0 +1,69 @@
+// Package cluster turns a set of grserved processes into one sharded
+// service: a coordinator-side worker registry (HTTP register/heartbeat with
+// liveness expiry, CLUSTER.md §2–§3), deterministic job routing by the
+// Runner's canonical cache key (rendezvous hashing, §4), a remote Backend
+// that proxies jobs to their owning worker over the existing JSON/graphwire
+// wire types (§5), and failover that re-routes a dead worker's jobs to the
+// next-ranked live worker (§6) — sound because realizations are
+// seed-deterministic, so a re-run on any worker yields the identical graph.
+//
+// The package is the protocol's reference implementation; CLUSTER.md at the
+// repository root is the normative spec, and the tests here cite it section
+// by section the way internal/wire cites WIRE.md.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Score is the rendezvous weight of (worker, key): FNV-1a 64 over the
+// worker name, a 0x00 separator, and the key (CLUSTER.md §4). The separator
+// keeps (name, key) pair boundaries unambiguous, so distinct pairs hash
+// distinct byte strings.
+func Score(worker, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(worker))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank orders worker names by descending Score for key, breaking exact
+// score ties by ascending name (CLUSTER.md §4). Rank[0] is the key's owner;
+// the rest is the failover order. The input slice is not modified.
+//
+// This is rendezvous (highest-random-weight) hashing: each worker's score
+// for a key is independent of the other workers, so removing one worker
+// reassigns only the keys it owned — every other key's owner is unchanged —
+// and adding a worker steals only the keys it now wins. That minimal-motion
+// property is what lets the per-worker result caches shard instead of
+// duplicating (§4).
+func Rank(workers []string, key string) []string {
+	ranked := append([]string(nil), workers...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := Score(ranked[i], key), Score(ranked[j], key)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// Owner returns the key's owning worker — the Rank winner — and false when
+// the worker set is empty.
+func Owner(workers []string, key string) (string, bool) {
+	if len(workers) == 0 {
+		return "", false
+	}
+	best := workers[0]
+	bestScore := Score(best, key)
+	for _, w := range workers[1:] {
+		s := Score(w, key)
+		if s > bestScore || (s == bestScore && w < best) {
+			best, bestScore = w, s
+		}
+	}
+	return best, true
+}

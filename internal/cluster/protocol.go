@@ -1,0 +1,63 @@
+package cluster
+
+// protocol.go defines the cluster control-plane JSON schemas, normatively
+// specified in CLUSTER.md §2. The data plane — job proxying — reuses the
+// service's existing /v1 JSON and graphwire wire types unchanged
+// (CLUSTER.md §5), so workers need no cluster-specific endpoints at all.
+
+// RegisterRequest is the body of POST /cluster/v1/register (CLUSTER.md
+// §2.1): the worker's stable name (its hashing identity — renaming a worker
+// moves its cache shard), the base URL the coordinator reaches it at, and
+// its advertised capacity (worker-pool size; 0 = GOMAXPROCS, informational).
+type RegisterRequest struct {
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration (CLUSTER.md §2.1).
+type RegisterResponse struct {
+	OK bool `json:"ok"`
+}
+
+// HeartbeatRequest is the body of POST /cluster/v1/heartbeat (CLUSTER.md
+// §2.2): the registered name plus a load snapshot the coordinator folds
+// into its aggregate /v1/stats without fanning out.
+type HeartbeatRequest struct {
+	Name string     `json:"name"`
+	Load WorkerLoad `json:"load"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat (CLUSTER.md §2.2).
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// WorkerLoad is the worker-side Runner counter subset carried by heartbeats
+// (CLUSTER.md §2.2) — the fields capacity planning and the coordinator's
+// aggregate stats need, nothing more.
+type WorkerLoad struct {
+	Workers   int   `json:"workers"`
+	Active    int   `json:"active"`
+	Queued    int   `json:"queued"`
+	Executed  int64 `json:"executed"`
+	CacheHits int64 `json:"cache_hits"`
+	CacheLen  int   `json:"cache_len"`
+}
+
+// WorkerStatus is one member row of GET /cluster/v1/workers and of the
+// cluster object in /v1/stats (CLUSTER.md §7): identity, derived liveness
+// state, last reported load, and how long the worker has been silent.
+type WorkerStatus struct {
+	Name      string     `json:"name"`
+	Addr      string     `json:"addr"`
+	Capacity  int        `json:"capacity,omitempty"`
+	State     string     `json:"state"`
+	Load      WorkerLoad `json:"load"`
+	SilenceMS float64    `json:"silence_ms"`
+}
+
+// WorkersResponse is the body of GET /cluster/v1/workers (CLUSTER.md §7).
+type WorkersResponse struct {
+	Workers []WorkerStatus `json:"workers"`
+}

@@ -46,6 +46,13 @@ var (
 	// ErrTooManyJobs reports that the retention cap is full of live jobs —
 	// backpressure, like the Runner's ErrQueueFull.
 	ErrTooManyJobs = errors.New("jobs: retained job limit reached")
+	// ErrReassigned marks an in-flight job found at recovery that this
+	// process no longer owns (Config.Owns said no): in a cluster the
+	// coordinator re-homed it to another worker while this one was down, so
+	// re-running it here would execute the job twice (CLUSTER.md §6.4). The
+	// job is retained as failed — visible, never silently dropped — and the
+	// authoritative result lives with the coordinator.
+	ErrReassigned = errors.New("jobs: job reassigned during recovery (not re-run here)")
 )
 
 // Backend is the slice of the graphrealize.Runner API the Manager needs; an
@@ -86,6 +93,15 @@ type Config struct {
 	// CompactBytes is the WAL size that triggers a snapshot compaction
 	// outside of GC (default 4 MiB). Ignored by non-durable stores.
 	CompactBytes int64
+	// Owns, when non-nil, gates recovery of in-flight jobs: Open re-queues
+	// a queued-or-running job only if Owns accepts it, and records the rest
+	// as failed with ErrReassigned. Cluster workers set it to reject
+	// everything (the coordinator owns routing and already failed their
+	// in-flight work over to a live worker, CLUSTER.md §6.4); single nodes
+	// and coordinators leave it nil, which re-queues everything — the
+	// pre-cluster behaviour. Terminal jobs always reload regardless: a
+	// finished result is correct wherever it is read.
+	Owns func(j graphrealize.Job) bool
 }
 
 // Manager owns the asynchronous job lifecycle. Create with Open (or New),
@@ -101,12 +117,13 @@ type Manager struct {
 	baseCtx context.Context
 	kill    context.CancelFunc
 
-	seq               atomic.Int64
-	subscribers       atomic.Int64
-	evictions         atomic.Int64
-	persistErrors     atomic.Int64
-	recoveredTerminal atomic.Int64
-	recoveredRequeued atomic.Int64
+	seq                 atomic.Int64
+	subscribers         atomic.Int64
+	evictions           atomic.Int64
+	persistErrors       atomic.Int64
+	recoveredTerminal   atomic.Int64
+	recoveredRequeued   atomic.Int64
+	recoveredReassigned atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -354,7 +371,8 @@ func (m *Manager) reloadTerminal(pj *PersistedJob) {
 // requeue re-runs a job that was queued or running at crash time, through
 // the Backend's admission-exempt replay path. The recorded seed travels in
 // the job's Options, so the re-run realizes the identical graph the
-// original would have.
+// original would have. With Config.Owns set, jobs this process no longer
+// owns are recorded as failed with ErrReassigned instead of re-run.
 func (m *Manager) requeue(pj *PersistedJob) {
 	job := pj.jobSpec()
 	rec := &record{
@@ -363,6 +381,20 @@ func (m *Manager) requeue(pj *PersistedJob) {
 		created:   pj.Created,
 		recovered: true,
 		state:     StateQueued,
+	}
+	if m.cfg.Owns != nil && !m.cfg.Owns(job) {
+		now := time.Now()
+		rec.mu.Lock()
+		rec.state = StateFailed
+		rec.err = ErrReassigned
+		rec.finished = now
+		rec.mu.Unlock()
+		m.persistMu.RLock()
+		m.ledger.put(rec)
+		m.logPersist(m.persist.LogTerminal(recordPersisted(rec)))
+		m.persistMu.RUnlock()
+		m.recoveredReassigned.Add(1)
+		return
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	rec.cancel = cancel
@@ -516,24 +548,26 @@ type Stats struct {
 	Subscribers int64         // open event subscriptions
 	Evictions   int64         // records removed by GC or capacity eviction
 
-	RecoveredTerminal int64      // terminal jobs reloaded from the store at open
-	RecoveredRequeued int64      // non-terminal jobs re-queued at open
-	PersistErrors     int64      // Store operations that failed (durability degraded)
-	Store             StoreStats // the Store's own durability gauges
+	RecoveredTerminal   int64      // terminal jobs reloaded from the store at open
+	RecoveredRequeued   int64      // non-terminal jobs re-queued at open
+	RecoveredReassigned int64      // in-flight jobs Config.Owns rejected at open
+	PersistErrors       int64      // Store operations that failed (durability degraded)
+	Store               StoreStats // the Store's own durability gauges
 }
 
 // StatsSnapshot returns the Manager's gauges for monitoring.
 func (m *Manager) StatsSnapshot() Stats {
 	counts := m.ledger.counts()
 	return Stats{
-		Jobs:              counts,
-		Retained:          m.ledger.len(),
-		Subscribers:       m.subscribers.Load(),
-		Evictions:         m.evictions.Load(),
-		RecoveredTerminal: m.recoveredTerminal.Load(),
-		RecoveredRequeued: m.recoveredRequeued.Load(),
-		PersistErrors:     m.persistErrors.Load(),
-		Store:             m.persist.Stats(),
+		Jobs:                counts,
+		Retained:            m.ledger.len(),
+		Subscribers:         m.subscribers.Load(),
+		Evictions:           m.evictions.Load(),
+		RecoveredTerminal:   m.recoveredTerminal.Load(),
+		RecoveredRequeued:   m.recoveredRequeued.Load(),
+		RecoveredReassigned: m.recoveredReassigned.Load(),
+		PersistErrors:       m.persistErrors.Load(),
+		Store:               m.persist.Stats(),
 	}
 }
 

@@ -1,0 +1,75 @@
+package serve
+
+// cluster.go mounts the coordinator's control plane — worker registration,
+// heartbeats, and the member listing — when Config.Cluster is set. The data
+// plane needs no routes of its own: proxying rides the ordinary /v1
+// handlers through the cluster Backend, so JSON/graphwire negotiation,
+// admission mapping, and trace propagation behave identically on a
+// coordinator and a single node. Message schemas and the liveness state
+// machine are specified normatively in CLUSTER.md §2–§3.
+
+import (
+	"errors"
+	"net/http"
+
+	"graphrealize/internal/cluster"
+)
+
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req cluster.RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.cfg.Cluster.Registry().Register(req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.RegisterResponse{OK: true})
+}
+
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req cluster.HeartbeatRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := s.cfg.Cluster.Registry().Heartbeat(req.Name, req.Load); err != nil {
+		// 404 tells the worker to re-register (CLUSTER.md §2.3) — the one
+		// status its join loop treats as "start over".
+		if errors.Is(err, cluster.ErrUnknownWorker) {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.HeartbeatResponse{OK: true})
+}
+
+func (s *Server) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.WorkersResponse{Workers: s.cfg.Cluster.Registry().Snapshot()})
+}
+
+// clusterStats builds the cluster object of GET /v1/stats (CLUSTER.md §7.1).
+func clusterStats(b *cluster.Backend) *ClusterStatsJSON {
+	snap := b.Registry().Snapshot()
+	out := &ClusterStatsJSON{Workers: snap}
+	for _, w := range snap {
+		switch w.State {
+		case string(cluster.StateAlive):
+			out.Alive++
+		case string(cluster.StateSuspect):
+			out.Suspect++
+		default:
+			out.Dead++
+		}
+	}
+	ct := b.Registry().Counters()
+	pc := b.ProxyCounters()
+	out.Registrations = ct.Registrations
+	out.Heartbeats = ct.Heartbeats
+	out.Failovers = ct.Failovers
+	out.Expired = ct.Expired
+	out.Proxied = pc.Proxied
+	out.ProxyErrors = pc.ProxyErrors
+	return out
+}

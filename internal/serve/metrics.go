@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"graphrealize/internal/cluster"
 	"graphrealize/internal/obs"
 )
 
@@ -164,6 +165,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.gauge("graphrealize_async_store_durable", "1 when jobs are persisted to a data dir, 0 for in-memory.", b2f(js.Store.Durable))
 		mw.counter("graphrealize_async_recovered_terminal_total", "Terminal jobs reloaded from the durable store at startup.", float64(js.RecoveredTerminal))
 		mw.counter("graphrealize_async_recovered_requeued_total", "In-flight jobs re-queued from the durable store at startup.", float64(js.RecoveredRequeued))
+		mw.counter("graphrealize_async_recovered_reassigned_total", "In-flight jobs not re-run at startup because this process no longer owns them.", float64(js.RecoveredReassigned))
 		mw.counter("graphrealize_async_persist_errors_total", "Durable-store operations that failed (durability degraded).", float64(js.PersistErrors))
 		// Segment gauges, not counters: both reset to zero at every
 		// compaction, when the WAL is truncated into the snapshot.
@@ -171,6 +173,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		mw.gauge("graphrealize_async_wal_bytes", "Bytes in the current WAL segment.", float64(js.Store.WALBytes))
 		mw.counter("graphrealize_async_compactions_total", "Snapshot compactions since startup.", float64(js.Store.Compactions))
 		mw.counter("graphrealize_async_wal_replay_errors_total", "Corrupt or truncated WAL records dropped at startup.", float64(js.Store.ReplayErrors))
+	}
+
+	if c := s.cfg.Cluster; c != nil {
+		// Coordinator families (CLUSTER.md §7.2): the member gauge always
+		// emits all three state rows so dashboards see explicit zeros, plus
+		// the control-plane and proxy counters.
+		byState := map[string]int{
+			string(cluster.StateAlive):   0,
+			string(cluster.StateSuspect): 0,
+			string(cluster.StateDead):    0,
+		}
+		for _, ws := range c.Registry().Snapshot() {
+			byState[ws.State]++
+		}
+		mw.labeled("graphrealize_cluster_workers", "Registered workers by liveness state.", "state", byState)
+		ct := c.Registry().Counters()
+		pc := c.ProxyCounters()
+		mw.counter("graphrealize_cluster_registrations_total", "Worker registrations accepted.", float64(ct.Registrations))
+		mw.counter("graphrealize_cluster_heartbeats_total", "Worker heartbeats accepted.", float64(ct.Heartbeats))
+		mw.counter("graphrealize_cluster_failovers_total", "Workers marked dead on proxy evidence (jobs re-routed).", float64(ct.Failovers))
+		mw.counter("graphrealize_cluster_expired_total", "Worker records removed by liveness expiry.", float64(ct.Expired))
+		mw.counter("graphrealize_cluster_proxied_total", "Jobs proxied to workers (including failover retries).", float64(pc.Proxied))
+		mw.counter("graphrealize_cluster_proxy_errors_total", "Proxied jobs that hit a down worker and re-routed.", float64(pc.ProxyErrors))
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

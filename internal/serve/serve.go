@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/cluster"
 	"graphrealize/internal/jobs"
 	"graphrealize/internal/obs"
 )
@@ -84,6 +85,12 @@ type Config struct {
 	// affects results, only execution speed, so changing the default is safe
 	// for clients.
 	DefaultScheduler graphrealize.Scheduler
+	// Cluster, when non-nil, marks this server a coordinator: the cluster
+	// control plane (/cluster/v1/*) is mounted, /v1/stats grows a cluster
+	// object, and /metrics grows the graphrealize_cluster_* families. It
+	// should be the same Backend configured above, so routing and stats
+	// describe one object (grserved -coordinator).
+	Cluster *cluster.Backend
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 	// Logger, when non-nil, receives one structured record per request
@@ -104,6 +111,9 @@ type obsBackend interface {
 // /metrics emits them. Fixed at compile time: per-route histograms must not
 // be allocated from request paths (unbounded label cardinality).
 var routeNames = []string{
+	"cluster_heartbeat",
+	"cluster_register",
+	"cluster_workers",
 	"healthz",
 	"jobs_cancel",
 	"jobs_events",
@@ -174,6 +184,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /v1/debug/slowest", s.instrument("slowest", s.handleDebugSlowest))
+	if s.cfg.Cluster != nil {
+		mux.HandleFunc("POST /cluster/v1/register", s.instrument("cluster_register", s.handleClusterRegister))
+		mux.HandleFunc("POST /cluster/v1/heartbeat", s.instrument("cluster_heartbeat", s.handleClusterHeartbeat))
+		mux.HandleFunc("GET /cluster/v1/workers", s.instrument("cluster_workers", s.handleClusterWorkers))
+	}
 	if s.cfg.Jobs != nil {
 		mux.HandleFunc("POST /v1/jobs", s.instrument("jobs_submit", s.handleJobSubmit))
 		mux.HandleFunc("GET /v1/jobs", s.instrument("jobs_list", s.handleJobList))
@@ -249,13 +264,21 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeResultError maps a job-level error onto an HTTP status.
+// writeResultError maps a job-level error onto an HTTP status. The two
+// cluster-only cases surface proxied admission outcomes that a local Runner
+// reports at submit time instead: a worker's backpressure rides a Result
+// (429, CLUSTER.md §8.1), and an emptied routing set is 503 — retrying is
+// pointless until a worker rejoins (CLUSTER.md §6.2).
 func writeResultError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, graphrealize.ErrUnrealizable):
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	case errors.Is(err, graphrealize.ErrBadInput):
 		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, graphrealize.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, cluster.ErrNoWorkers):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "job exceeded its deadline")
 	case errors.Is(err, context.Canceled):
@@ -344,9 +367,12 @@ func (s *Server) writeBackpressure(w http.ResponseWriter, format string, args ..
 func (s *Server) submit(w http.ResponseWriter, ctx context.Context, j graphrealize.Job) (graphrealize.Result, bool) {
 	ch, err := s.cfg.Backend.SubmitCtx(ctx, j)
 	if err != nil {
-		if errors.Is(err, graphrealize.ErrQueueFull) {
+		switch {
+		case errors.Is(err, graphrealize.ErrQueueFull):
 			s.writeBackpressure(w, "runner queue is full; retry later")
-		} else {
+		case errors.Is(err, cluster.ErrNoWorkers):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return graphrealize.Result{}, false
@@ -498,9 +524,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// halfway or starving a concurrent sweep.
 	chans, err := s.cfg.Backend.SubmitAllCtx(r.Context(), sweepJobs)
 	if err != nil {
-		if errors.Is(err, graphrealize.ErrQueueFull) {
+		switch {
+		case errors.Is(err, graphrealize.ErrQueueFull):
 			s.writeBackpressure(w, "runner queue cannot admit a %d-job sweep; retry later", len(sweepJobs))
-		} else {
+		case errors.Is(err, cluster.ErrNoWorkers):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
@@ -546,5 +575,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse(s.cfg.Backend.Stats(), time.Since(s.started), s.runnerObs))
+	resp := statsResponse(s.cfg.Backend.Stats(), time.Since(s.started), s.runnerObs)
+	if s.cfg.Cluster != nil {
+		resp.Cluster = clusterStats(s.cfg.Cluster)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

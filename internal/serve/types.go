@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graphrealize"
+	"graphrealize/internal/cluster"
 	"graphrealize/internal/jobs"
 )
 
@@ -199,6 +200,25 @@ type StatsResponse struct {
 	// driver, keyed "barrier" / "pool" / "flat". Nil when the backend
 	// exposes no instruments.
 	Phases map[string]SchedPhaseJSON `json:"phases,omitempty"`
+	// Cluster reports the coordinator's member table and proxy counters
+	// (CLUSTER.md §7.1). Nil on a single node or a worker.
+	Cluster *ClusterStatsJSON `json:"cluster,omitempty"`
+}
+
+// ClusterStatsJSON is the cluster object of GET /v1/stats on a coordinator:
+// every registered worker with its derived liveness state, the state
+// tallies, and the control-plane/proxy counters (CLUSTER.md §7.1).
+type ClusterStatsJSON struct {
+	Workers       []cluster.WorkerStatus `json:"workers"`
+	Alive         int                    `json:"alive"`
+	Suspect       int                    `json:"suspect"`
+	Dead          int                    `json:"dead"`
+	Registrations int64                  `json:"registrations"`
+	Heartbeats    int64                  `json:"heartbeats"`
+	Failovers     int64                  `json:"failovers"`
+	Expired       int64                  `json:"expired"`
+	Proxied       int64                  `json:"proxied"`
+	ProxyErrors   int64                  `json:"proxy_errors"`
 }
 
 // SchedPhaseJSON is one scheduler driver's accumulated engine phase profile.

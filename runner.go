@@ -581,6 +581,22 @@ func (j Job) cacheKey() cacheKey {
 	}
 }
 
+// RouteKey returns the canonical routing key of a job: a printable,
+// collision-free rendering of exactly the fields that form the Runner's
+// result cache key — the kind, the zig-zag-varint-packed sequence, and the
+// outcome-affecting Options (Model, Seed, Strict, CapMul, Sort, MaxRounds,
+// Scheduler). Label, TraceID, Timeout, and the Progress/Profile hooks never
+// contribute, mirroring their exclusion from the cache key. The cluster
+// coordinator hashes this key to pick a job's owning worker (CLUSTER.md §4),
+// so the distributed result cache shards: two jobs land on the same worker
+// exactly when a single Runner would serve one from the other's cache.
+func (j Job) RouteKey() string {
+	k := j.cacheKey()
+	return fmt.Sprintf("%s|%x|m%d.s%d.t%t.c%d.o%d.r%d.%s",
+		k.kind, k.seq, int(k.opt.model), k.opt.seed, k.opt.strict,
+		k.opt.capMul, int(k.opt.sort), k.opt.maxRounds, k.opt.sched)
+}
+
 // resultCache is a small mutex-guarded LRU keyed by cacheKey.
 type resultCache struct {
 	mu    sync.Mutex
