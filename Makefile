@@ -2,7 +2,9 @@
 #
 #   make build          compile everything
 #   make test           tier-1 verify: build + full test suite
-#   make race           race-test the engine and service layers
+#   make lint           grlint analyzer suite over ./... (DESIGN.md §12)
+#   make ci             local approximation of the CI gates: fmt, vet, lint, test, race
+#   make race           race-test every package
 #   make bench          full benchmark pass (benchstat-comparable output)
 #   make sweep          multi-seed realization sweep on all cores
 #   make tables         regenerate every experiment table (quick scale)
@@ -34,7 +36,7 @@ BENCH_ARGS  := -short -run '^$$' -bench . -benchtime 3x -count 5 . ./internal/wi
 # benchmarks present on both sides, so the base run probes for the package.
 BENCH_ARGS_BASE := -short -run '^$$' -bench . -benchtime 3x -count 5 . $$([ -d internal/wire ] && echo ./internal/wire)
 
-.PHONY: build test race bench bench-sched bench-record sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
+.PHONY: build test lint ci race bench bench-sched bench-record sweep tables vet fmt-check serve loadgen loadgen-async bench-compare clean
 
 build:
 	$(GO) build ./...
@@ -45,12 +47,21 @@ test: build
 vet:
 	$(GO) vet ./...
 
+# The repo's own analyzer suite (internal/lint, cmd/grlint): determinism and
+# wire invariants enforced at compile time. Non-empty diagnostics exit 1.
+lint:
+	$(GO) run ./cmd/grlint ./...
+
+# Every gate a PR must pass that runs in minutes: what the CI test and lint
+# jobs check, minus the multi-version matrix and the e2e/bench jobs.
+ci: fmt-check vet lint test race
+
 fmt-check:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 race:
-	$(GO) test -race ./internal/ncc/ ./internal/jobs/ ./internal/obs/ ./internal/serve/ ./internal/cluster/ .
+	$(GO) test -race ./...
 
 # Pipe consecutive runs into benchstat to compare engine changes; the
 # delivery/barrier benchmarks track allocs/op, the batch benchmark the

@@ -1,0 +1,80 @@
+// Command grlint runs the repo's static invariant checks (DESIGN.md §12)
+// over the given package patterns and exits non-zero on any diagnostic.
+//
+//	go run ./cmd/grlint ./...          # the whole tree (what `make lint` and CI run)
+//	go run ./cmd/grlint ./internal/ncc # one package
+//	go run ./cmd/grlint -list          # print the check catalog
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 load failure. The suite is
+// dependency-free — go/parser + go/types + the source importer, no x/tools —
+// so `make lint` needs nothing beyond the Go toolchain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"graphrealize/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the check catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: grlint [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	checks := lint.DefaultChecks()
+	if *list {
+		for _, c := range checks {
+			fmt.Printf("%s  %s\n", c.ID(), c.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	ld, err := lint.NewLoader(cwd)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := ld.Load(patterns)
+	if err != nil {
+		fail(err)
+	}
+	for _, p := range pkgs {
+		// Type-check problems don't stop the run (checks operate on the
+		// partial type info), but they can mask violations, so surface them.
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "grlint: warning: %s: %v\n", p.PkgPath, terr)
+		}
+	}
+
+	diags := lint.Run(pkgs, checks)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "grlint: %v\n", err)
+	os.Exit(2)
+}

@@ -45,6 +45,22 @@ func NewLocalCtx(pos int, lv primitives.Levels, tree *primitives.Tree, n int) *L
 	return &LocalCtx{Pos: pos, Lv: lv, Tree: tree, N: n}
 }
 
+// sortedGIDs returns m's keys in ascending order. Group-keyed working state
+// lives in maps, but anything that can reach the wire — sends, budgeted
+// serving — must walk them deterministically: map iteration order would make
+// message schedules (and so round counts in the trace) vary run to run.
+// This is the one blessed raw map range; every other iteration goes through
+// it or is an order-independent fold.
+func sortedGIDs[V any](m map[int64]V) []int64 {
+	out := make([]int64, 0, len(m))
+	//grlint:allow D001 -- sole blessed map range: keys are sorted before any use
+	for gid := range m {
+		out = append(out, gid)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
 // rendezvous maps a group ID to a position via a splitmix64-style hash; all
 // nodes share it, so no coordination is needed.
 func (c *LocalCtx) rendezvous(gid int64) int {
@@ -146,15 +162,11 @@ func LocalAggregate(nd *ncc.Node, c *LocalCtx, contribs []GroupValue, destOf []i
 			}
 			regQueue = regQueue[nReg:]
 			// Send one combined partial per fresh gid.
-			gids := make([]int64, 0, len(pending))
-			for gid, st := range pending {
-				if st.fresh {
-					gids = append(gids, gid)
-				}
-			}
-			sort.Slice(gids, func(a, b int) bool { return gids[a] < gids[b] })
-			for _, gid := range gids {
+			for _, gid := range sortedGIDs(pending) {
 				st := pending[gid]
+				if !st.fresh {
+					continue
+				}
 				t := c.rendezvous(gid)
 				if t == c.Pos {
 					rv, ok := rvAcc[gid]
@@ -208,9 +220,11 @@ func LocalAggregate(nd *ncc.Node, c *LocalCtx, contribs []GroupValue, destOf []i
 			break
 		}
 	}
-	// Final delivery: rendezvous nodes ship folds to their destinations,
-	// then one more quiescence epoch flushes them.
-	for gid, rv := range rvAcc {
+	// Final delivery: rendezvous nodes ship folds to their destinations in
+	// ascending gid order (several groups can share a destination, so send
+	// order is observable), then one more quiescence epoch flushes them.
+	for _, gid := range sortedGIDs(rvAcc) {
+		rv := rvAcc[gid]
 		dest, ok := regTarget[gid]
 		if !ok {
 			continue
@@ -279,6 +293,7 @@ func LocalMulticast(nd *ncc.Node, c *LocalCtx, sources []GroupToken, memberOf []
 		}
 	}
 	unserved := func() bool {
+		//grlint:allow D001 -- order-independent any-predicate; no sends, result is a bool
 		for gid := range haveTok {
 			if served[gid] < len(children[gid]) {
 				return true
@@ -312,9 +327,11 @@ func LocalMulticast(nd *ncc.Node, c *LocalCtx, sources []GroupToken, memberOf []
 				}
 			}
 			tokQueue = tokQueue[nTok:]
-			// Feed unserved children of known tokens, throttled.
+			// Feed unserved children of known tokens, throttled. Ascending
+			// gid order matters: the budget decides which groups are served
+			// this round, so map order would leak into round counts.
 			sent := 0
-			for gid := range haveTok {
+			for _, gid := range sortedGIDs(haveTok) {
 				kids := children[gid]
 				for served[gid] < len(kids) && sent < budget {
 					nd.Send(kids[served[gid]], ncc.Message{Kind: kLDeliver, A: gid, B: knownTok[gid]})

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// C001 — context discipline in request paths.
+//
+// internal/serve and internal/cluster handle requests end to end: admission
+// timeouts, engine cancellation at the round barrier, and cluster proxy
+// hops all hang off the request's context. A context.Background() or
+// context.TODO() minted inside those packages detaches the downstream work
+// from the caller — a canceled client keeps burning a worker, and a proxied
+// job outlives the coordinator request that carried it. Contexts must flow
+// in from the request (or from the owning component's lifecycle context,
+// threaded through construction); process-lifecycle roots in cmd/ main
+// functions are out of scope.
+type C001 struct {
+	// Packages are the request-path package import paths.
+	Packages []string
+}
+
+func (*C001) ID() string { return "C001" }
+func (*C001) Doc() string {
+	return "no context.Background()/context.TODO() in serve/cluster request paths; contexts flow from the request"
+}
+
+func (c *C001) Run(pkgs []*Package) []Diagnostic {
+	scope := map[string]bool{}
+	for _, p := range c.Packages {
+		scope[p] = true
+	}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		if !scope[p.PkgPath] {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					out = append(out, Diagnostic{
+						Pos:   p.Fset.Position(sel.Sel.Pos()),
+						Check: c.ID(),
+						Message: "context." + name + " in request-path package " + p.PkgPath +
+							": derive the context from the request (or the component's lifecycle context)",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// M001 — metric family registration.
+//
+// GET /metrics emits every family from one pinned-order exposition table in
+// internal/serve/metrics.go; TestMetricsStableAcrossScrapes relies on that
+// single table for scrape stability, and the CI e2e jobs grep families by
+// name. A graphrealize_* family name minted anywhere else in non-test code
+// is either dead (never exposed) or a second emission site that breaks the
+// pinned order — both are flagged. Inside the table itself, a duplicated
+// family name (an invalid exposition) is flagged too.
+type M001 struct {
+	// TableFile is the slash-separated path suffix of the exposition table
+	// file ("internal/serve/metrics.go").
+	TableFile string
+	// Prefix is the metric namespace ("graphrealize_").
+	Prefix string
+}
+
+func (*M001) ID() string { return "M001" }
+func (*M001) Doc() string {
+	return "graphrealize_* metric families must be registered in the pinned exposition table (internal/serve/metrics.go)"
+}
+
+func (c *M001) Run(pkgs []*Package) []Diagnostic {
+	familyRE := regexp.MustCompile("^" + regexp.QuoteMeta(c.Prefix) + "[a-z0-9_]+$")
+
+	// First pass: collect the table. When the run's patterns exclude the
+	// table file entirely (a scoped `grlint ./internal/ncc` run), the check
+	// has no registry to compare against and stays silent.
+	table := map[string]token.Position{}
+	var out []Diagnostic
+	found := false
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if !c.isTableFile(p, f) {
+				continue
+			}
+			found = true
+			for _, lit := range stringLiterals(f) {
+				name, ok := litValue(lit)
+				if !ok || !familyRE.MatchString(name) {
+					continue
+				}
+				if first, dup := table[name]; dup {
+					out = append(out, Diagnostic{
+						Pos:   p.Fset.Position(lit.Pos()),
+						Check: c.ID(),
+						Message: "metric family " + strconv.Quote(name) +
+							" appears twice in the exposition table (first at " + first.String() + ")",
+					})
+					continue
+				}
+				table[name] = p.Fset.Position(lit.Pos())
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+
+	// Second pass: every family-shaped literal outside the table must be
+	// registered in it.
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if c.isTableFile(p, f) {
+				continue
+			}
+			for _, lit := range stringLiterals(f) {
+				name, ok := litValue(lit)
+				if !ok || !familyRE.MatchString(name) {
+					continue
+				}
+				if _, registered := table[name]; !registered {
+					out = append(out, Diagnostic{
+						Pos:   p.Fset.Position(lit.Pos()),
+						Check: c.ID(),
+						Message: "metric family " + strconv.Quote(name) +
+							" is not registered in the pinned exposition table (" + c.TableFile + ")",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *M001) isTableFile(p *Package, f *ast.File) bool {
+	name := filepath.ToSlash(p.Fset.Position(f.Pos()).Filename)
+	return strings.HasSuffix(name, c.TableFile)
+}
+
+func stringLiterals(f *ast.File) []*ast.BasicLit {
+	var lits []*ast.BasicLit
+	ast.Inspect(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+func litValue(lit *ast.BasicLit) (string, bool) {
+	v, err := strconv.Unquote(lit.Value)
+	return v, err == nil
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// W001 — wire decoder error discipline.
+//
+// WIRE.md §7 promises that every malformed-stream error out of the graphwire
+// decoder wraps ErrFormat, so callers can errors.Is-classify a framing
+// problem (HTTP 400) apart from transport failure (HTTP 5xx). This check
+// enforces the promise at construction sites: inside the decoder-path files,
+// a return statement may propagate an existing error value, but an error
+// *constructed* at the return site must wrap the sentinel — formatErr(...),
+// or fmt.Errorf with a %w verb and ErrFormat among the arguments.
+// errors.New can never wrap and is always flagged there.
+type W001 struct {
+	// Pkg is the wire package import path.
+	Pkg string
+	// Files are the base names of the decoder-path files (the decoder itself
+	// plus the shared read-side framing/varint primitives).
+	Files []string
+	// Sentinel is the base error every format error must wrap ("ErrFormat").
+	Sentinel string
+	// Wrapper is the sanctioned helper, named in diagnostics ("formatErr").
+	Wrapper string
+}
+
+func (*W001) ID() string { return "W001" }
+func (*W001) Doc() string {
+	return "errors constructed in wire decoder paths must wrap ErrFormat (WIRE.md §7)"
+}
+
+func (c *W001) Run(pkgs []*Package) []Diagnostic {
+	var p *Package
+	for _, cand := range pkgs {
+		if cand.PkgPath == c.Pkg {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		return nil
+	}
+	inScope := map[string]bool{}
+	for _, f := range c.Files {
+		inScope[f] = true
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if !inScope[filepath.Base(p.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, c.checkBody(p, fd.Body, fn.Type().(*types.Signature))...)
+		}
+	}
+	return out
+}
+
+// checkBody walks one function body, descending into function literals with
+// their own signatures, and classifies the error-position expression of
+// every return statement.
+func (c *W001) checkBody(p *Package, body *ast.BlockStmt, sig *types.Signature) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if litSig, ok := p.Info.Types[n].Type.(*types.Signature); ok {
+				out = append(out, c.checkBody(p, n.Body, litSig)...)
+			}
+			return false
+		case *ast.ReturnStmt:
+			res := sig.Results()
+			if len(n.Results) != res.Len() {
+				return true // bare return, or a single multi-value call
+			}
+			for i := 0; i < res.Len(); i++ {
+				if !isErrorType(res.At(i).Type()) {
+					continue
+				}
+				if d, bad := c.classify(p, n.Results[i]); bad {
+					out = append(out, d)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }
+
+// classify inspects one returned error expression. Propagated values
+// (identifiers, fields, nil) and calls into same-package helpers pass; a
+// fresh construction must wrap the sentinel.
+func (c *W001) classify(p *Package, expr ast.Expr) (Diagnostic, bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = p.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = p.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return Diagnostic{}, false // dynamic call: a propagated constructor, not a literal construction
+	}
+	pos := p.Fset.Position(call.Pos())
+	switch callee.Pkg().Path() + "." + callee.Name() {
+	case "errors.New":
+		return Diagnostic{Pos: pos, Check: c.ID(), Message: "errors.New in a decoder path cannot wrap " +
+			c.Sentinel + "; use " + c.Wrapper + "(...)"}, true
+	case "fmt.Errorf":
+		if !c.errorfWraps(call) {
+			return Diagnostic{Pos: pos, Check: c.ID(), Message: "fmt.Errorf in a decoder path must wrap " +
+				c.Sentinel + " with %w (or use " + c.Wrapper + "(...))"}, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// errorfWraps reports whether a fmt.Errorf call has a %w verb in a constant
+// format string and references the sentinel among its arguments.
+func (c *W001) errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.Contains(format, "%w") {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		switch a := arg.(type) {
+		case *ast.Ident:
+			if a.Name == c.Sentinel {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if a.Sel.Name == c.Sentinel {
+				return true
+			}
+		}
+	}
+	return false
+}

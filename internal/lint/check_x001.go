@@ -1,0 +1,50 @@
+package lint
+
+import "strconv"
+
+// X001 — suppression directive discipline.
+//
+// //grlint:allow is load-bearing: it is the only way to exempt a site from a
+// check, so a malformed directive must be an error, not a silent no-op. A
+// directive needs at least one check ID, every ID must name a real check,
+// and the " -- <justification>" tail is mandatory — an unexplained
+// suppression is indistinguishable from a stale one.
+type X001 struct {
+	// Known are the valid check IDs (every registered check, X001 included).
+	Known []string
+}
+
+func (*X001) ID() string { return "X001" }
+func (*X001) Doc() string {
+	return "every //grlint:allow directive names known checks and carries a ' -- <justification>'"
+}
+
+func (c *X001) Run(pkgs []*Package) []Diagnostic {
+	known := map[string]bool{}
+	for _, id := range c.Known {
+		known[id] = true
+	}
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range fileDirectives(p.Fset, f) {
+				switch {
+				case len(d.ids) == 0:
+					out = append(out, Diagnostic{Pos: d.pos, Check: c.ID(),
+						Message: "grlint:allow names no check IDs"})
+				case !d.hasSep || d.justification == "":
+					out = append(out, Diagnostic{Pos: d.pos, Check: c.ID(),
+						Message: "grlint:allow requires a justification: //grlint:allow <ID> -- <why this site is exempt>"})
+				default:
+					for _, id := range d.ids {
+						if !known[id] {
+							out = append(out, Diagnostic{Pos: d.pos, Check: c.ID(),
+								Message: "grlint:allow names unknown check " + strconv.Quote(id)})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

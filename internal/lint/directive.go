@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive.go parses the //grlint:allow suppression directive:
+//
+//	//grlint:allow D001 -- profiling-only clock read, proven trace-inert
+//	//grlint:allow D001 G001 -- one justification may cover several checks
+//
+// The IDs before " -- " name the checks being suppressed; the non-empty text
+// after it is the mandatory justification. A directive suppresses matching
+// diagnostics on its own line (trailing comment) and on the line directly
+// below (comment line above the offending statement). Directives with no
+// justification, no IDs, or unknown IDs are flagged by X001 and suppress
+// nothing.
+
+const allowPrefix = "//grlint:allow"
+
+// directive is one parsed //grlint:allow comment line.
+type directive struct {
+	pos token.Position
+	// ids are the check IDs named before " -- ".
+	ids []string
+	// justification is the text after " -- ", empty if absent.
+	justification string
+	// hasSep reports whether the " -- " separator was present at all.
+	hasSep bool
+}
+
+// fileDirectives scans every comment line of f for grlint:allow directives.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			// Require an exact "//grlint:allow" token: "//grlint:allowed" is
+			// not a directive.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			d := directive{pos: fset.Position(c.Pos())}
+			head, tail, found := strings.Cut(rest, " -- ")
+			d.hasSep = found
+			d.justification = strings.TrimSpace(tail)
+			for _, id := range strings.FieldsFunc(head, func(r rune) bool {
+				return r == ' ' || r == '\t' || r == ','
+			}) {
+				d.ids = append(d.ids, id)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// valid reports whether the directive is well-formed against the known check
+// IDs: at least one ID, every ID known, and a non-empty justification.
+func (d directive) valid(known map[string]bool) bool {
+	if len(d.ids) == 0 || d.justification == "" {
+		return false
+	}
+	for _, id := range d.ids {
+		if !known[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildAllows indexes every well-formed directive in the package by
+// (file, line, check ID). Malformed directives are excluded — X001 reports
+// them instead.
+func (p *Package) buildAllows(known map[string]bool) {
+	p.allows = map[string]map[int]map[string]bool{}
+	add := func(file string, line int, id string) {
+		byLine := p.allows[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			p.allows[file] = byLine
+		}
+		ids := byLine[line]
+		if ids == nil {
+			ids = map[string]bool{}
+			byLine[line] = ids
+		}
+		ids[id] = true
+	}
+	for _, f := range p.Files {
+		for _, d := range fileDirectives(p.Fset, f) {
+			if !d.valid(known) {
+				continue
+			}
+			for _, id := range d.ids {
+				add(d.pos.Filename, d.pos.Line, id)
+				add(d.pos.Filename, d.pos.Line+1, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package lint is grlint's analyzer framework: a dependency-free (go/parser +
+// go/ast + go/types + go/importer, no x/tools) suite of repo-specific static
+// checks that enforce the invariants the conformance suites otherwise only
+// catch dynamically. DESIGN.md §12 is the normative catalog; every check ID
+// documented there has a golden testdata package under testdata/src/ and vice
+// versa (pinned by TestCheckCatalogConsistency).
+//
+// A check inspects one or more loaded packages and returns diagnostics. A
+// diagnostic at a given file:line is suppressed by a
+//
+//	//grlint:allow <ID>[ <ID>...] -- <justification>
+//
+// directive on the same line or on the line directly above; the justification
+// after " -- " is mandatory (X001 flags directives without one).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Check is one analyzer. Run receives every loaded package (checks scope
+// themselves by package path or file name) and returns its findings.
+type Check interface {
+	// ID is the stable check identifier (e.g. "D001"), as cataloged in
+	// DESIGN.md §12.
+	ID() string
+	// Doc is a one-line description shown by `grlint -list`.
+	Doc() string
+	// Run analyzes the loaded packages and returns diagnostics.
+	Run(pkgs []*Package) []Diagnostic
+}
+
+// Run executes every check over the loaded packages, applies //grlint:allow
+// suppression, and returns the surviving diagnostics in deterministic
+// file/line/column/check order.
+func Run(pkgs []*Package, checks []Check) []Diagnostic {
+	known := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		known[c.ID()] = true
+	}
+	for _, p := range pkgs {
+		p.buildAllows(known)
+	}
+	var out []Diagnostic
+	for _, c := range checks {
+		for _, d := range c.Run(pkgs) {
+			if !allowedAt(pkgs, d.Pos, d.Check) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+func allowedAt(pkgs []*Package, pos token.Position, id string) bool {
+	for _, p := range pkgs {
+		if p.allowedAt(pos.Filename, pos.Line, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownIDs returns the sorted IDs of the given checks.
+func KnownIDs(checks []Check) []string {
+	ids := make([]string, 0, len(checks))
+	for _, c := range checks {
+		ids = append(ids, c.ID())
+	}
+	sort.Strings(ids)
+	return ids
+}

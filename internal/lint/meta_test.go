@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestCheckCatalogConsistency pins the three places a check ID lives to each
+// other: the registered suite (DefaultChecks), the prose catalog (DESIGN.md
+// §12 "Static enforcement"), and the golden testdata packages
+// (testdata/src/<id>). Adding a check to any one of them without the other
+// two fails here.
+func TestCheckCatalogConsistency(t *testing.T) {
+	root := testLoader(t).Root
+
+	codeIDs := KnownIDs(DefaultChecks())
+
+	docIDs := designSectionIDs(t, filepath.Join(root, "DESIGN.md"))
+
+	var goldenIDs []string
+	ents, err := os.ReadDir(filepath.Join(root, "internal", "lint", "testdata", "src"))
+	if err != nil {
+		t.Fatalf("reading testdata/src: %v", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			goldenIDs = append(goldenIDs, strings.ToUpper(e.Name()))
+		}
+	}
+	sort.Strings(goldenIDs)
+
+	if !equalSets(codeIDs, docIDs) {
+		t.Errorf("DefaultChecks IDs %v != DESIGN.md §12 IDs %v", codeIDs, docIDs)
+	}
+	if !equalSets(codeIDs, goldenIDs) {
+		t.Errorf("DefaultChecks IDs %v != golden testdata packages %v", codeIDs, goldenIDs)
+	}
+}
+
+// designSectionIDs extracts the check IDs named in DESIGN.md's "Static
+// enforcement" section (from its "## <n>." heading to the next "## ").
+func designSectionIDs(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	text := string(data)
+	start := strings.Index(text, "Static enforcement")
+	if start < 0 {
+		t.Fatal("DESIGN.md has no \"Static enforcement\" section")
+	}
+	section := text[start:]
+	if end := strings.Index(section, "\n## "); end >= 0 {
+		section = section[:end]
+	}
+	idRE := regexp.MustCompile(`\b[A-Z]\d{3}\b`)
+	seen := map[string]bool{}
+	var ids []string
+	for _, id := range idRE.FindAllString(section, -1) {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The self-test injects a violation into a scratch module and proves the
+// suite fails on it — and that a justified //grlint:allow makes the same
+// code pass. CI repeats the exercise at the binary level (a scratch file
+// dropped into internal/core must make `go run ./cmd/grlint` exit non-zero).
+
+const selftestClock = `package proto
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+
+const selftestAllowed = `package proto
+
+import "time"
+
+func Stamp() int64 {
+	//grlint:allow D001 -- self-test: proves a justified allow suppresses the injected violation
+	return time.Now().UnixNano()
+}
+`
+
+func writeScratchModule(t *testing.T, dir, protoSrc string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "proto"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "proto", "proto.go"), []byte(protoSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runScratch(t *testing.T, dir string) []Diagnostic {
+	t.Helper()
+	ld, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := ld.Load([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	checks := []Check{
+		&D001{Packages: []string{"scratch/proto"}},
+		&X001{Known: KnownIDs(DefaultChecks())},
+	}
+	return Run(pkgs, checks)
+}
+
+func TestSelfTestInjectedViolationFails(t *testing.T) {
+	dir := t.TempDir()
+	writeScratchModule(t, dir, selftestClock)
+	diags := runScratch(t, dir)
+	if len(diags) != 1 {
+		t.Fatalf("injected time.Now: got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "D001" || !strings.Contains(d.Message, "time.Now") {
+		t.Fatalf("injected time.Now: got %s", d)
+	}
+	if filepath.Base(d.Pos.Filename) != "proto.go" || d.Pos.Line != 6 {
+		t.Fatalf("diagnostic position: got %s:%d, want proto.go:6", d.Pos.Filename, d.Pos.Line)
+	}
+}
+
+func TestSelfTestJustifiedAllowSuppresses(t *testing.T) {
+	dir := t.TempDir()
+	writeScratchModule(t, dir, selftestAllowed)
+	if diags := runScratch(t, dir); len(diags) != 0 {
+		t.Fatalf("allowed time.Now: got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,19 @@
+// Package c001 is the golden-diagnostic package for check C001
+// (DESIGN.md §12): context discipline in request-path packages.
+package c001
+
+import (
+	"context"
+	"time"
+)
+
+func handle(ctx context.Context) error {
+	bg := context.Background() // want "context\\.Background in request-path package"
+	_ = bg
+	todo := context.TODO() // want "context\\.TODO in request-path package"
+	_ = todo
+	sub, cancel := context.WithTimeout(ctx, time.Second) // deriving from the request passes
+	defer cancel()
+	<-sub.Done()
+	return sub.Err()
+}

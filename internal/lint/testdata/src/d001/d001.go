@@ -1,0 +1,40 @@
+// Package d001 is the golden-diagnostic package for check D001
+// (DESIGN.md §12): nondeterminism in trace-affecting packages. Each
+// trailing `// want "regex"` comment pins the diagnostic expected on its
+// line; lines without one must stay clean.
+package d001
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks(deadline time.Time) time.Duration {
+	start := time.Now()         // want "time\\.Now in trace-affecting package"
+	_ = time.Since(start)       // want "time\\.Since in trace-affecting package"
+	_ = start.Sub(deadline)     // methods on injected timestamps pass
+	return time.Until(deadline) // want "time\\.Until in trace-affecting package"
+}
+
+func draws(seeded *rand.Rand) int {
+	n := seeded.Intn(10)               // methods on a seeded generator pass
+	n += rand.Intn(10)                 // want "package-level math/rand\\.Intn draws from the process-global generator"
+	rand.Shuffle(n, func(i, j int) {}) // want "package-level math/rand\\.Shuffle"
+	r := rand.New(rand.NewSource(1))   // constructors pass
+	return n + r.Intn(10)
+}
+
+func folds(m map[int]int, s []int) int {
+	total := 0
+	for _, v := range m { // want "range over map\\[int\\]int: map iteration order is nondeterministic"
+		total += v
+	}
+	for _, v := range s { // ranging a slice passes
+		total += v
+	}
+	//grlint:allow D001 -- golden: a justified allow on the line above suppresses the diagnostic
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package g001 is the golden-diagnostic package for check G001
+// (DESIGN.md §12): the zero-goroutine flat driver. Roots are the
+// functions declared in flat.go; any `go` statement statically reachable
+// from a root is a violation.
+package g001
+
+// release is a root: it reaches step, which spawns.
+func release() {
+	step()
+}
+
+// fallback is a root too, but its only edge into goroutine land is
+// severed by a justified allow, so spawnLegit's `go` stays clean.
+func fallback() {
+	//grlint:allow G001 -- golden: severed edge; the callee runs only under the goroutine drivers
+	spawnLegit()
+}
+
+// direct spawns straight from a root.
+func direct(done chan struct{}) {
+	go func() { close(done) }() // want "go statement in direct, reachable from the flat driver"
+}

@@ -1,0 +1,20 @@
+package g001
+
+// step is reachable from the root release.
+func step() {
+	go work() // want "go statement in step, reachable from the flat driver"
+}
+
+// work has no go statement of its own; being called from a goroutine is fine.
+func work() {}
+
+// spawnLegit is only referenced across the severed edge in fallback, so it
+// is unreachable from the flat driver and its spawn is legal.
+func spawnLegit() {
+	go work()
+}
+
+// orphan is never referenced from flat.go at all.
+func orphan() {
+	go work()
+}

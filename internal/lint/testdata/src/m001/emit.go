@@ -1,0 +1,13 @@
+package m001
+
+// registered names a family present in the table: pass.
+const registered = "graphrealize_test_requests_total"
+
+// unregistered mints a family the table never exposes.
+const unregistered = "graphrealize_test_orphans_total" // want "is not registered in the pinned exposition table"
+
+// help is prefix-adjacent prose, not a family name (spaces break the
+// family shape), so it passes.
+func help() string {
+	return "graphrealize test help text"
+}

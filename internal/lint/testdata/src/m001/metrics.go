@@ -1,0 +1,15 @@
+// Package m001 is the golden-diagnostic package for check M001
+// (DESIGN.md §12): metric family registration. This file plays the role
+// of the pinned exposition table (the check is configured with TableFile
+// "m001/metrics.go"); emit.go holds the out-of-table literals.
+package m001
+
+// table is the pinned exposition order: every family named here is
+// registered.
+func table() []string {
+	return []string{
+		"graphrealize_test_requests_total",
+		"graphrealize_test_active",
+		"graphrealize_test_active", // want "appears twice in the exposition table"
+	}
+}

@@ -1,0 +1,52 @@
+// Package w001 is the golden-diagnostic package for check W001
+// (DESIGN.md §12): wire decoder error discipline. Only decoder.go is in
+// the check's file scope; encoder.go shows write-side code passing.
+package w001
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrFormat is the sentinel every decoder error must wrap.
+var ErrFormat = errors.New("w001: malformed stream")
+
+// formatErr is the sanctioned wrapper.
+func formatErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFormat, fmt.Sprintf(format, args...))
+}
+
+func readMagic(r io.Reader) error {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return err // propagating an existing error passes
+	}
+	if b[0] != 'G' {
+		return formatErr("bad magic %q", b[0]) // the wrapper passes
+	}
+	return nil
+}
+
+func checkCount(n int) error {
+	if n < 0 {
+		return errors.New("negative count") // want "errors\\.New in a decoder path cannot wrap ErrFormat"
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("count %d out of range", n) // want "fmt\\.Errorf in a decoder path must wrap ErrFormat with %w"
+	}
+	return nil
+}
+
+func explicitWrap(n int) (int, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("%w: zero count", ErrFormat) // explicit %w of the sentinel passes
+	}
+	check := func(v int) error {
+		if v%2 != 0 {
+			return errors.New("odd") // want "errors\\.New in a decoder path cannot wrap ErrFormat"
+		}
+		return nil
+	}
+	return n, check(n)
+}

@@ -1,0 +1,12 @@
+package w001
+
+import "errors"
+
+// encodeGuard lives outside the decoder-path file set: write-side errors
+// are the caller's bug, not stream corruption, and need not wrap ErrFormat.
+func encodeGuard(closed bool) error {
+	if closed {
+		return errors.New("w001: write after close")
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package x001 is the golden-diagnostic package for check X001
+// (DESIGN.md §12): suppression directive discipline. X001 diagnostics
+// land on the directive's own line, which the directive comment already
+// occupies, so expectations here use the harness's `// want-next "..."`
+// form (the pattern applies to the line below the want comment) and the
+// directives ride as trailing comments.
+package x001
+
+// want-next "grlint:allow requires a justification"
+var missingJustification = 1 //grlint:allow D001
+
+// want-next "grlint:allow names unknown check \"Z999\""
+var unknownCheck = 2 //grlint:allow Z999 -- plausible-looking but no such check is registered
+
+// want-next "grlint:allow names no check IDs"
+var noIDs = 3 //grlint:allow -- a justification alone suppresses nothing
+
+var wellFormed = 4 //grlint:allow D001 -- well-formed: at least one known ID and a justification
+
+// grlint:allowed is prose, not a directive (no exact token match), so it
+// parses as an ordinary comment and X001 stays silent.
+var prose = 5

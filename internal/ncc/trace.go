@@ -39,6 +39,7 @@ func (t *Trace) Output(id ID, key string) (int64, bool) {
 func (t *Trace) MaxOutput(key string) (int64, bool) {
 	var best int64
 	found := false
+	//grlint:allow D001 -- order-independent max fold over final results
 	for _, nr := range t.Nodes {
 		if nr.Outputs == nil {
 			continue
@@ -61,10 +62,12 @@ func (t *Trace) MaxOutput(key string) (int64, bool) {
 // AddEdge rejects them).
 func (t *Trace) EdgeSet() map[[2]ID]struct{} {
 	total := 0
+	//grlint:allow D001 -- order-independent sum for a capacity hint
 	for _, nr := range t.Nodes {
 		total += len(nr.Neighbors)
 	}
 	edges := make(map[[2]ID]struct{}, total)
+	//grlint:allow D001 -- builds an unordered set; insertion order is invisible
 	for id, nr := range t.Nodes {
 		for _, p := range nr.Neighbors {
 			a, b := id, p
